@@ -1,0 +1,78 @@
+// Shared configuration and helpers for the paper-table reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation: it runs the iterative partitioner with the experiment's
+// parameters, prints the paper-style trace table (bounds shown without the
+// N*C_T reconfiguration term, matching the paper's layout), and exposes the
+// headline quantities as google-benchmark counters.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "arch/device.hpp"
+#include "core/partitioner.hpp"
+#include "io/table.hpp"
+#include "workloads/dct.hpp"
+
+namespace sparcs::bench {
+
+/// One DCT experiment configuration (Tables 3-8).
+struct DctExperiment {
+  const char* label;
+  double rmax;
+  double mmax = 4096;
+  double ct_ns;
+  double delta;
+  int alpha;
+  int gamma = 1;
+  /// Per-SolveModel budget. The paper ran CPLEX under a wall-clock budget as
+  /// well; probes that exhaust it are reported as "Limit" and treated like
+  /// infeasible ones by the search.
+  double per_solve_time_limit_sec = 5.0;
+};
+
+inline core::PartitionerReport run_dct_experiment(const DctExperiment& e) {
+  const graph::TaskGraph g = workloads::dct_task_graph();
+  const arch::Device dev = arch::custom("dct_dev", e.rmax, e.mmax, e.ct_ns);
+  core::PartitionerOptions options;
+  options.alpha = e.alpha;
+  options.gamma = e.gamma;
+  options.delta = e.delta;
+  options.solver.time_limit_sec = e.per_solve_time_limit_sec;
+  options.solver.node_limit = 2000000;
+  return core::TemporalPartitioner(g, dev, options).run();
+}
+
+inline void print_dct_report(const DctExperiment& e,
+                             const core::PartitionerReport& report) {
+  std::printf("\n=== %s: DCT 4x4, Rmax=%g CLB, Mmax=%g, Ct=%g ns, "
+              "delta=%g, alpha=%d, gamma=%d ===\n",
+              e.label, e.rmax, e.mmax, e.ct_ns, e.delta, e.alpha, e.gamma);
+  std::printf("N bounds: [%d, %d]; bounds below shown without N*Ct\n",
+              report.n_min_lower, report.n_min_upper);
+  std::printf("%s", io::render_trace(report.trace, e.ct_ns, true).c_str());
+  if (report.feasible) {
+    std::printf("best: Da=%g ns total (execution %g ns) at N=%d, eta=%d%s\n",
+                report.achieved_latency,
+                report.best->execution_latency_ns,
+                report.best_num_partitions,
+                report.best->num_partitions_used,
+                report.stopped_by_lower_bound
+                    ? " [sweep stopped by MinLatency(N) >= Da]"
+                    : "");
+  } else {
+    std::printf("no feasible solution in the explored range\n");
+  }
+}
+
+inline void set_report_counters(benchmark::State& state,
+                                const core::PartitionerReport& report) {
+  state.counters["Da_ns"] = report.feasible ? report.achieved_latency : 0.0;
+  state.counters["best_N"] = report.best_num_partitions;
+  state.counters["ilp_solves"] = report.ilp_solves;
+  state.counters["trace_rows"] = static_cast<double>(report.trace.size());
+}
+
+}  // namespace sparcs::bench

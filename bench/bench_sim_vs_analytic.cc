@@ -1,0 +1,86 @@
+// Simulation-vs-analytic-model bench: the event-driven executor replays the
+// partitioned design and must agree with the formulation's latency model
+// (sum of per-partition critical paths plus reconfigurations). Also measures
+// the simulator's throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "arch/device.hpp"
+#include "bench_common.hpp"
+#include "core/partitioner.hpp"
+#include "io/table.hpp"
+#include "sim/executor.hpp"
+#include "workloads/ar_filter.hpp"
+#include "workloads/dct.hpp"
+#include "workloads/ewf.hpp"
+
+namespace {
+
+using namespace sparcs;
+
+void BM_SimVsAnalytic(benchmark::State& state) {
+  struct Case {
+    const char* name;
+    graph::TaskGraph graph;
+    arch::Device device;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"ar_filter", workloads::ar_filter_task_graph(),
+                   arch::custom("d", 200, 64, 50)});
+  cases.push_back({"ewf", workloads::ewf_task_graph(),
+                   arch::custom("d", 300, 128, 50)});
+  cases.push_back({"dct", workloads::dct_task_graph(),
+                   arch::custom("d", 1024, 4096, 100)});
+
+  io::AsciiTable table({"workload", "analytic (ns)", "simulated (ns)",
+                        "peak mem", "match"});
+  for (auto _ : state) {
+    for (Case& c : cases) {
+      core::PartitionerOptions options;
+      options.delta = 100.0;
+      options.solver.time_limit_sec = 3.0;
+      const core::PartitionerReport report =
+          core::TemporalPartitioner(c.graph, c.device, options).run();
+      if (!report.feasible) {
+        table.add_row({c.name, "Inf.", "-", "-", "-"});
+        continue;
+      }
+      const sim::SimulationResult r =
+          sim::simulate(c.graph, c.device, *report.best);
+      const bool match =
+          std::abs(r.makespan_ns - report.best->total_latency_ns) < 1e-6;
+      table.add_row({c.name,
+                     std::to_string((long long)report.best->total_latency_ns),
+                     std::to_string((long long)r.makespan_ns),
+                     std::to_string((long long)r.peak_memory),
+                     match ? "yes" : "NO"});
+    }
+  }
+  std::printf("\n=== Simulated replay vs analytic latency model ===\n%s",
+              table.to_string().c_str());
+}
+BENCHMARK(BM_SimVsAnalytic)->Unit(benchmark::kSecond)->Iterations(1);
+
+void BM_SimulatorThroughputDct(benchmark::State& state) {
+  const graph::TaskGraph g = workloads::dct_task_graph();
+  const arch::Device dev = arch::custom("d", 1024, 4096, 100);
+  core::PartitionerOptions options;
+  options.delta = 400.0;
+  options.solver.time_limit_sec = 2.0;
+  const core::PartitionerReport report =
+      core::TemporalPartitioner(g, dev, options).run();
+  if (!report.feasible) {
+    state.SkipWithError("DCT partitioning infeasible");
+    return;
+  }
+  for (auto _ : state) {
+    const sim::SimulationResult r = sim::simulate(g, dev, *report.best);
+    benchmark::DoNotOptimize(r.makespan_ns);
+  }
+}
+BENCHMARK(BM_SimulatorThroughputDct)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

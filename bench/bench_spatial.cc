@@ -1,0 +1,97 @@
+// Spatial partitioning bench: exact ILP vs the FM heuristic on per-
+// configuration netlists (cut quality and runtime), plus the end-to-end
+// SPARCS flow (temporal then spatial) on the DCT.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "arch/device.hpp"
+#include "bench_common.hpp"
+#include "core/partitioner.hpp"
+#include "io/table.hpp"
+#include "spatial/flow.hpp"
+#include "support/rng.hpp"
+#include "workloads/dct.hpp"
+
+namespace {
+
+using namespace sparcs;
+
+spatial::Netlist random_netlist(int nodes, int nets, std::uint64_t seed) {
+  Rng rng(seed);
+  spatial::Netlist nl;
+  for (int i = 0; i < nodes; ++i) {
+    nl.add_node("n" + std::to_string(i), std::floor(rng.uniform(20, 60)));
+  }
+  for (int i = 0; i < nets; ++i) {
+    const auto a = static_cast<spatial::NodeId>(rng.index(nodes));
+    const auto b = static_cast<spatial::NodeId>(rng.index(nodes));
+    if (a != b) nl.add_net(a, b, std::floor(rng.uniform(1, 8)));
+  }
+  return nl;
+}
+
+void BM_SpatialIlpVsFm(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const spatial::Netlist nl = random_netlist(nodes, 2 * nodes, 77);
+  spatial::Board board = spatial::wildforce_board(
+      /*fpga_capacity=*/nl.total_area() / 3.0,
+      /*interconnect_capacity=*/1e9);
+
+  spatial::FmResult fm;
+  spatial::IlpSpatialResult ilp;
+  for (auto _ : state) {
+    fm = spatial_partition_fm(nl, board);
+    milp::SolverParams params;
+    params.time_limit_sec = 10.0;
+    ilp = spatial_partition_ilp(nl, board, /*to_optimality=*/true, params);
+  }
+  state.counters["fm_cut"] =
+      fm.assignment ? fm.assignment->cut_weight : -1;
+  state.counters["ilp_cut"] =
+      ilp.assignment ? ilp.assignment->cut_weight : -1;
+  state.counters["ilp_proved"] =
+      ilp.status == milp::SolveStatus::kOptimal ? 1 : 0;
+  state.counters["fm_ms"] = fm.seconds * 1e3;
+  state.counters["ilp_ms"] = ilp.seconds * 1e3;
+}
+BENCHMARK(BM_SpatialIlpVsFm)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Iterations(1);
+
+void BM_SparcsFlowDct(benchmark::State& state) {
+  const graph::TaskGraph g = workloads::dct_task_graph();
+  const arch::Device dev = arch::custom("d", 1024, 4096, 100);
+  core::PartitionerOptions options;
+  options.delta = 400.0;
+  options.solver.time_limit_sec = 2.0;
+  const core::PartitionerReport report =
+      core::TemporalPartitioner(g, dev, options).run();
+  if (!report.feasible) {
+    state.SkipWithError("DCT partitioning infeasible");
+    return;
+  }
+  const spatial::Board board = spatial::wildforce_board(
+      /*fpga_capacity=*/dev.resource_capacity / 4.0,
+      /*interconnect_capacity=*/256.0);
+  spatial::FlowResult flow;
+  for (auto _ : state) {
+    flow = spatial::map_design_to_board(g, *report.best, board);
+  }
+  state.counters["configs"] =
+      static_cast<double>(flow.configurations.size());
+  state.counters["total_cut"] = flow.total_cut;
+  state.counters["ok"] = flow.ok ? 1 : 0;
+  std::printf("\n=== SPARCS flow: temporal (N=%d) then spatial onto %s ===\n%s",
+              report.best_num_partitions, board.name.c_str(),
+              flow.to_string(g).c_str());
+}
+BENCHMARK(BM_SparcsFlowDct)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

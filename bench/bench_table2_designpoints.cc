@@ -1,0 +1,60 @@
+// Table 2: design points of the DCT tasks — the pinned values used by the
+// table benches and, alongside, the Pareto fronts our HLS estimator
+// regenerates from the vector-product dataflow graph.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hls/design_point_gen.hpp"
+#include "io/table.hpp"
+#include "workloads/dct.hpp"
+
+namespace {
+
+using namespace sparcs;
+
+void print_points(const char* label,
+                  const std::vector<graph::DesignPoint>& points) {
+  io::AsciiTable table({"module set", "area (CLB)", "latency (ns)"});
+  for (const graph::DesignPoint& p : points) {
+    table.add_row({p.module_set, std::to_string((int)p.area),
+                   std::to_string((int)p.latency_ns)});
+  }
+  std::printf("%s\n%s", label, table.to_string().c_str());
+}
+
+void BM_Table2_PinnedPoints(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::dct_t1_pinned_points());
+  }
+  std::printf("\n=== Table 2: DCT task design points (pinned) ===\n");
+  print_points("T1 (12-bit vector product):",
+               workloads::dct_t1_pinned_points());
+  print_points("T2 (16-bit vector product):",
+               workloads::dct_t2_pinned_points());
+}
+BENCHMARK(BM_Table2_PinnedPoints)->Iterations(1);
+
+void BM_Table2_EstimatedPoints(benchmark::State& state) {
+  const hls::ModuleLibrary lib = hls::ModuleLibrary::xc4000();
+  hls::GeneratorOptions options;
+  options.max_points = 4;
+  std::vector<graph::DesignPoint> t1, t2;
+  for (auto _ : state) {
+    t1 = hls::generate_design_points(
+        workloads::dct_vector_product_dfg(12), lib, options);
+    t2 = hls::generate_design_points(
+        workloads::dct_vector_product_dfg(16), lib, options);
+  }
+  state.counters["t1_points"] = static_cast<double>(t1.size());
+  state.counters["t2_points"] = static_cast<double>(t2.size());
+  std::printf("\n=== Table 2 (estimator-regenerated Pareto fronts) ===\n");
+  print_points("T1 (12-bit):", t1);
+  print_points("T2 (16-bit):", t2);
+}
+BENCHMARK(BM_Table2_EstimatedPoints)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

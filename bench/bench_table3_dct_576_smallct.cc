@@ -1,0 +1,15 @@
+// Table 3: DCT, Rmax=576, delta=200, gamma=1, small reconfiguration overhead
+// (TM-FPGA regime). Expected shape: the first feasible partition bound does
+// NOT give the best latency — relaxing N lets faster design points fit and
+// reduces the total latency.
+#include "dct_table_main.hpp"
+
+namespace sparcs::bench {
+const DctExperiment kExperiment{
+    .label = "Table 3",
+    .rmax = 576,
+    .ct_ns = 100,
+    .delta = 200,
+    .alpha = 0,
+};
+}  // namespace sparcs::bench

@@ -1,0 +1,14 @@
+// Table 4: DCT, Rmax=576, delta=200, Ct=10ms (Wildforce regime). Expected
+// shape: the best solution sits at the first feasible partition bound; the
+// sweep stops immediately because MinLatency(N+1) >= Da.
+#include "dct_table_main.hpp"
+
+namespace sparcs::bench {
+const DctExperiment kExperiment{
+    .label = "Table 4",
+    .rmax = 576,
+    .ct_ns = 1.0e7,
+    .delta = 200,
+    .alpha = 0,
+};
+}  // namespace sparcs::bench

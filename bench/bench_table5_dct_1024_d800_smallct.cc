@@ -1,0 +1,13 @@
+// Table 5: DCT, Rmax=1024, delta=800, alpha=1, gamma=1, small
+// reconfiguration overhead.
+#include "dct_table_main.hpp"
+
+namespace sparcs::bench {
+const DctExperiment kExperiment{
+    .label = "Table 5",
+    .rmax = 1024,
+    .ct_ns = 100,
+    .delta = 800,
+    .alpha = 1,
+};
+}  // namespace sparcs::bench

@@ -1,0 +1,14 @@
+// Table 7: DCT, Rmax=1024, delta=100 (vs. 800 in Table 5): the tighter
+// latency tolerance spends more iterations and finds an equal-or-better
+// solution — the paper's delta-sensitivity claim.
+#include "dct_table_main.hpp"
+
+namespace sparcs::bench {
+const DctExperiment kExperiment{
+    .label = "Table 7",
+    .rmax = 1024,
+    .ct_ns = 100,
+    .delta = 100,
+    .alpha = 1,
+};
+}  // namespace sparcs::bench

@@ -1,0 +1,12 @@
+// Table 8: DCT, Rmax=1024, delta=100, Ct=10ms.
+#include "dct_table_main.hpp"
+
+namespace sparcs::bench {
+const DctExperiment kExperiment{
+    .label = "Table 8",
+    .rmax = 1024,
+    .ct_ns = 1.0e7,
+    .delta = 100,
+    .alpha = 0,
+};
+}  // namespace sparcs::bench

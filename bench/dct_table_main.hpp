@@ -1,0 +1,29 @@
+// Main body shared by the six DCT table benches (Tables 3-8): each bench
+// binary defines its DctExperiment and includes this file.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace sparcs::bench {
+
+/// The experiment each including bench binary defines.
+extern const DctExperiment kExperiment;
+
+inline void BM_DctTable(benchmark::State& state) {
+  core::PartitionerReport report;
+  for (auto _ : state) {
+    report = run_dct_experiment(kExperiment);
+  }
+  set_report_counters(state, report);
+  print_dct_report(kExperiment, report);
+}
+
+}  // namespace sparcs::bench
+
+BENCHMARK(sparcs::bench::BM_DctTable)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+#include "arch/device.hpp"
+
+#include "support/error.hpp"
+
+namespace sparcs::arch {
+
+void Device::validate() const {
+  SPARCS_REQUIRE(resource_capacity > 0.0,
+                 "device resource capacity must be positive");
+  SPARCS_REQUIRE(memory_capacity >= 0.0,
+                 "device memory capacity must be non-negative");
+  SPARCS_REQUIRE(reconfig_time_ns >= 0.0,
+                 "reconfiguration time must be non-negative");
+}
+
+Device wildforce_like(double rmax, double mmax) {
+  Device d;
+  d.name = "wildforce-like";
+  d.resource_capacity = rmax;
+  d.memory_capacity = mmax;
+  d.reconfig_time_ns = 1.0e7;  // 10 ms
+  d.validate();
+  return d;
+}
+
+Device time_multiplexed_like(double rmax, double mmax) {
+  Device d;
+  d.name = "tm-fpga-like";
+  d.resource_capacity = rmax;
+  d.memory_capacity = mmax;
+  d.reconfig_time_ns = 100.0;  // comparable to task latencies
+  d.validate();
+  return d;
+}
+
+Device custom(std::string name, double rmax, double mmax, double ct_ns) {
+  Device d;
+  d.name = std::move(name);
+  d.resource_capacity = rmax;
+  d.memory_capacity = mmax;
+  d.reconfig_time_ns = ct_ns;
+  d.validate();
+  return d;
+}
+
+}  // namespace sparcs::arch

@@ -1,0 +1,35 @@
+// Reconfigurable processor model: the three architecture parameters the
+// formulation consumes (resource capacity R_max, on-board memory M_max,
+// reconfiguration time C_T) plus presets for the two architecture classes
+// the paper distinguishes by reconfiguration overhead.
+#pragma once
+
+#include <string>
+
+namespace sparcs::arch {
+
+/// Target run-time reconfigurable processor.
+struct Device {
+  std::string name;
+  double resource_capacity = 0.0;   ///< R_max, in CLB equivalents
+  double memory_capacity = 0.0;     ///< M_max, in data units
+  double reconfig_time_ns = 0.0;    ///< C_T per reconfiguration
+
+  /// Throws InvalidArgumentError unless all capacities are positive and the
+  /// reconfiguration time is non-negative.
+  void validate() const;
+};
+
+/// Wildforce-class board: millisecond-scale reconfiguration (the
+/// "reconfiguration time orders of magnitude greater than task latency"
+/// regime). `rmax` defaults to the 576-CLB experiment of the paper.
+Device wildforce_like(double rmax = 576.0, double mmax = 4096.0);
+
+/// Time-multiplexed-FPGA-class device: nanosecond/microsecond-scale
+/// reconfiguration (the "comparable to task latency" regime).
+Device time_multiplexed_like(double rmax = 576.0, double mmax = 4096.0);
+
+/// Fully custom device.
+Device custom(std::string name, double rmax, double mmax, double ct_ns);
+
+}  // namespace sparcs::arch

@@ -1,0 +1,197 @@
+#include "cli/app.hpp"
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "arch/device.hpp"
+#include "core/partitioner.hpp"
+#include "io/csv.hpp"
+#include "io/dot.hpp"
+#include "io/table.hpp"
+#include "io/tg_format.hpp"
+#include "sim/executor.hpp"
+#include "support/error.hpp"
+#include "workloads/ar_filter.hpp"
+#include "workloads/dct.hpp"
+#include "workloads/ewf.hpp"
+
+namespace sparcs::cli {
+namespace {
+
+struct Arguments {
+  std::string input_file;
+  std::string workload;
+  std::optional<double> rmax, mmax, ct;
+  double delta = 0.0;
+  int alpha = 0;
+  int gamma = 1;
+  double time_limit = 10.0;
+  bool optimal = false;
+  bool simulate = false;
+  bool quiet = false;
+  std::string dot_file;
+  std::string csv_file;
+};
+
+Arguments parse_args(const std::vector<std::string>& args) {
+  Arguments parsed;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> const std::string& {
+      SPARCS_REQUIRE(i + 1 < args.size(), arg + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--workload") {
+      parsed.workload = value();
+    } else if (arg == "--rmax") {
+      parsed.rmax = std::stod(value());
+    } else if (arg == "--mmax") {
+      parsed.mmax = std::stod(value());
+    } else if (arg == "--ct") {
+      parsed.ct = std::stod(value());
+    } else if (arg == "--delta") {
+      parsed.delta = std::stod(value());
+    } else if (arg == "--alpha") {
+      parsed.alpha = std::stoi(value());
+    } else if (arg == "--gamma") {
+      parsed.gamma = std::stoi(value());
+    } else if (arg == "--time-limit") {
+      parsed.time_limit = std::stod(value());
+    } else if (arg == "--optimal") {
+      parsed.optimal = true;
+    } else if (arg == "--simulate") {
+      parsed.simulate = true;
+    } else if (arg == "--quiet") {
+      parsed.quiet = true;
+    } else if (arg == "--dot") {
+      parsed.dot_file = value();
+    } else if (arg == "--csv") {
+      parsed.csv_file = value();
+    } else if (!arg.empty() && arg[0] == '-') {
+      SPARCS_REQUIRE(false, "unknown option " + arg);
+    } else {
+      SPARCS_REQUIRE(parsed.input_file.empty(),
+                     "multiple input files given");
+      parsed.input_file = arg;
+    }
+  }
+  SPARCS_REQUIRE(parsed.input_file.empty() != parsed.workload.empty(),
+                 "give exactly one of <graph.tg> or --workload");
+  return parsed;
+}
+
+graph::TaskGraph builtin_workload(const std::string& name) {
+  if (name == "ar") return workloads::ar_filter_task_graph();
+  if (name == "dct") return workloads::dct_task_graph();
+  if (name == "ewf") return workloads::ewf_task_graph();
+  SPARCS_REQUIRE(false, "unknown workload '" + name +
+                            "' (expected ar, dct or ewf)");
+  return {};
+}
+
+}  // namespace
+
+std::string usage() {
+  return R"(usage: sparcs-tp <graph.tg> [options]
+       sparcs-tp --workload {ar|dct|ewf} [options]
+
+options:
+  --rmax R --mmax M --ct CT  device parameters (override the file's device)
+  --delta D                  latency tolerance in ns (default: 2% of MaxLatency)
+  --alpha A / --gamma G      partition relaxations (defaults 0 / 1)
+  --time-limit S             per-ILP-solve wall budget (default 10 s)
+  --optimal                  also run the optimal-ILP reference
+  --simulate                 simulate the best design (Gantt-style report)
+  --dot FILE / --csv FILE    export the design / the iteration trace
+  --quiet                    suppress the iteration trace table
+)";
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty()) {
+    err << usage();
+    return 2;
+  }
+  try {
+    const Arguments parsed = parse_args(args);
+
+    graph::TaskGraph graph;
+    std::optional<arch::Device> device;
+    if (!parsed.workload.empty()) {
+      graph = builtin_workload(parsed.workload);
+    } else {
+      std::ifstream file(parsed.input_file);
+      SPARCS_REQUIRE(file.good(), "cannot open " + parsed.input_file);
+      io::TaskGraphFile parsed_file = io::read_task_graph(file);
+      graph = std::move(parsed_file.graph);
+      device = parsed_file.device;
+    }
+
+    const double rmax = parsed.rmax.value_or(
+        device ? device->resource_capacity : 576.0);
+    const double mmax =
+        parsed.mmax.value_or(device ? device->memory_capacity : 4096.0);
+    const double ct =
+        parsed.ct.value_or(device ? device->reconfig_time_ns : 100.0);
+    const arch::Device dev = arch::custom("cli-device", rmax, mmax, ct);
+
+    out << "graph '" << graph.name() << "': " << graph.num_tasks()
+        << " tasks, " << graph.num_edges() << " edges; device Rmax=" << rmax
+        << " Mmax=" << mmax << " Ct=" << ct << " ns\n";
+
+    core::PartitionerOptions options;
+    options.delta = parsed.delta;
+    options.alpha = parsed.alpha;
+    options.gamma = parsed.gamma;
+    options.solver.time_limit_sec = parsed.time_limit;
+    const core::PartitionerReport report =
+        core::TemporalPartitioner(graph, dev, options).run();
+
+    if (!parsed.quiet) {
+      out << io::render_trace(report.trace, ct, false);
+    }
+    if (!report.feasible) {
+      out << "no feasible partitioning in the explored range\n";
+      return 1;
+    }
+    out << "best: " << report.achieved_latency << " ns at N="
+        << report.best_num_partitions << " (delta=" << report.delta_used
+        << ", " << report.ilp_solves << " ILP solves, " << report.seconds
+        << " s)\n"
+        << report.best->to_string(graph);
+
+    if (parsed.optimal) {
+      const core::OptimalResult optimal = core::solve_optimal_over_range(
+          graph, dev, parsed.alpha, parsed.gamma, options.solver);
+      if (optimal.best) {
+        out << "optimal reference: " << optimal.latency_ns << " ns ("
+            << milp::to_string(optimal.status) << ")\n";
+      } else {
+        out << "optimal reference: no solution ("
+            << milp::to_string(optimal.status) << ")\n";
+      }
+    }
+    if (parsed.simulate) {
+      out << sim::simulate(graph, dev, *report.best).to_string(graph);
+    }
+    if (!parsed.dot_file.empty()) {
+      std::ofstream dot(parsed.dot_file);
+      io::write_dot(dot, graph, *report.best);
+      out << "wrote " << parsed.dot_file << "\n";
+    }
+    if (!parsed.csv_file.empty()) {
+      std::ofstream csv(parsed.csv_file);
+      io::write_trace_csv(csv, report.trace);
+      out << "wrote " << parsed.csv_file << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n" << usage();
+    return 2;
+  }
+}
+
+}  // namespace sparcs::cli

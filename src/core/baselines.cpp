@@ -1,0 +1,136 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/algorithms.hpp"
+#include "support/error.hpp"
+
+namespace sparcs::core {
+namespace {
+
+int pick_point(const graph::Task& task, PointPolicy policy) {
+  const auto& points = task.design_points;
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(points.size()); ++i) {
+    const auto& cand = points[static_cast<std::size_t>(i)];
+    const auto& incumbent = points[static_cast<std::size_t>(best)];
+    bool better = false;
+    switch (policy) {
+      case PointPolicy::kMinArea:
+        better = cand.area < incumbent.area;
+        break;
+      case PointPolicy::kMinLatency:
+        better = cand.latency_ns < incumbent.latency_ns;
+        break;
+      case PointPolicy::kMaxArea:
+        better = cand.area > incumbent.area;
+        break;
+    }
+    if (better) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<PartitionedDesign> greedy_first_fit(
+    const graph::TaskGraph& graph, const arch::Device& device,
+    PointPolicy policy, int max_partitions) {
+  graph.validate();
+  device.validate();
+
+  PartitionedDesign design;
+  design.assignment.assign(static_cast<std::size_t>(graph.num_tasks()), {});
+  std::vector<double> used_area(static_cast<std::size_t>(max_partitions),
+                                0.0);
+  int highest = 1;
+  for (const graph::TaskId t : graph::topological_order(graph)) {
+    const int point = pick_point(graph.task(t), policy);
+    const double area =
+        graph.task(t).design_points[static_cast<std::size_t>(point)].area;
+    if (area > device.resource_capacity) return std::nullopt;
+    int p_min = 1;
+    for (const graph::TaskId pred : graph.predecessors(t)) {
+      p_min = std::max(
+          p_min,
+          design.assignment[static_cast<std::size_t>(pred)].partition);
+    }
+    int placed = -1;
+    for (int p = p_min; p <= max_partitions; ++p) {
+      if (used_area[static_cast<std::size_t>(p - 1)] + area <=
+          device.resource_capacity + 1e-9) {
+        placed = p;
+        break;
+      }
+    }
+    if (placed < 0) return std::nullopt;
+    design.assignment[static_cast<std::size_t>(t)] =
+        TaskAssignment{placed, point};
+    used_area[static_cast<std::size_t>(placed - 1)] += area;
+    highest = std::max(highest, placed);
+  }
+  design.num_partitions_allocated = highest;
+  recompute_latency(graph, device, design);
+  if (!validate_design(graph, device, design).ok) {
+    return std::nullopt;  // e.g. the frozen points violate the memory budget
+  }
+  return design;
+}
+
+std::optional<PartitionedDesign> exhaustive_optimal(
+    const graph::TaskGraph& graph, const arch::Device& device,
+    int max_partitions) {
+  graph.validate();
+  device.validate();
+  const int n_tasks = graph.num_tasks();
+  SPARCS_REQUIRE(n_tasks <= 8, "exhaustive_optimal is for tiny graphs only");
+
+  PartitionedDesign current;
+  current.num_partitions_allocated = max_partitions;
+  current.assignment.assign(static_cast<std::size_t>(n_tasks), {});
+  std::optional<PartitionedDesign> best;
+  double best_latency = std::numeric_limits<double>::infinity();
+
+  const std::vector<graph::TaskId> order = graph::topological_order(graph);
+
+  // Depth-first enumeration over (partition, point) per task in topological
+  // order; precedence lets us prune partitions before the predecessors'.
+  auto recurse = [&](auto&& self, std::size_t depth) -> void {
+    if (depth == order.size()) {
+      recompute_latency(graph, device, current);
+      if (current.total_latency_ns < best_latency &&
+          validate_design(graph, device, current).ok) {
+        best = current;
+        best_latency = current.total_latency_ns;
+      }
+      return;
+    }
+    const graph::TaskId t = order[depth];
+    int p_min = 1;
+    for (const graph::TaskId pred : graph.predecessors(t)) {
+      p_min = std::max(
+          p_min,
+          current.assignment[static_cast<std::size_t>(pred)].partition);
+    }
+    const int n_points =
+        static_cast<int>(graph.task(t).design_points.size());
+    for (int p = p_min; p <= max_partitions; ++p) {
+      for (int k = 0; k < n_points; ++k) {
+        current.assignment[static_cast<std::size_t>(t)] =
+            TaskAssignment{p, k};
+        // Cheap area prune on the partial assignment.
+        if (partition_area(graph, current, p) >
+            device.resource_capacity + 1e-9) {
+          continue;
+        }
+        self(self, depth + 1);
+      }
+    }
+    current.assignment[static_cast<std::size_t>(t)] = TaskAssignment{};
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+}  // namespace sparcs::core

@@ -1,0 +1,45 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "support/error.hpp"
+
+namespace sparcs::core {
+
+int min_area_partitions(const graph::TaskGraph& graph,
+                        const arch::Device& device) {
+  graph.validate();
+  device.validate();
+  const double total = graph::total_task_weight(
+      graph, [&](graph::TaskId t) { return graph.min_area(t); });
+  return std::max(
+      1, static_cast<int>(std::ceil(total / device.resource_capacity - 1e-9)));
+}
+
+int max_area_partitions(const graph::TaskGraph& graph,
+                        const arch::Device& device) {
+  graph.validate();
+  device.validate();
+  const double total = graph::total_task_weight(
+      graph, [&](graph::TaskId t) { return graph.max_area(t); });
+  return std::max(
+      1, static_cast<int>(std::ceil(total / device.resource_capacity - 1e-9)));
+}
+
+double max_latency(const graph::TaskGraph& graph, const arch::Device& device,
+                   int num_partitions) {
+  SPARCS_REQUIRE(num_partitions >= 1, "need at least one partition");
+  const double serial = graph::total_task_weight(
+      graph, [&](graph::TaskId t) { return graph.max_latency(t); });
+  return serial + num_partitions * device.reconfig_time_ns;
+}
+
+double min_latency(const graph::TaskGraph& graph, const arch::Device& device,
+                   int num_partitions) {
+  SPARCS_REQUIRE(num_partitions >= 1, "need at least one partition");
+  return graph::min_latency_critical_path(graph) +
+         num_partitions * device.reconfig_time_ns;
+}
+
+}  // namespace sparcs::core

@@ -1,0 +1,31 @@
+// Partition-count and latency bounds (Section 3.1 of the paper).
+#pragma once
+
+#include "arch/device.hpp"
+#include "graph/task_graph.hpp"
+
+namespace sparcs::core {
+
+/// MinAreaPartitions(): lower bound N^l_min on the number of partitions —
+/// total area of the minimum-area design point of every task divided by the
+/// device capacity, rounded up (at least 1).
+int min_area_partitions(const graph::TaskGraph& graph,
+                        const arch::Device& device);
+
+/// MaxAreaPartitions(): N^u_min — the partition count needed if every task
+/// used its maximum-area design point. Together with the ending partition
+/// relaxation gamma this caps the partition-space sweep.
+int max_area_partitions(const graph::TaskGraph& graph,
+                        const arch::Device& device);
+
+/// MaxLatency(N): all tasks serialized at their slowest design points, plus
+/// the reconfiguration overhead of N partitions (upper bound, eq. in §3.1).
+double max_latency(const graph::TaskGraph& graph, const arch::Device& device,
+                   int num_partitions);
+
+/// MinLatency(N): the critical path using each task's fastest design point,
+/// plus the reconfiguration overhead of N partitions (lower bound).
+double min_latency(const graph::TaskGraph& graph, const arch::Device& device,
+                   int num_partitions);
+
+}  // namespace sparcs::core

@@ -1,0 +1,118 @@
+#include "core/partitioner.hpp"
+
+#include <algorithm>
+
+#include "core/formulation.hpp"
+#include "milp/solver.hpp"
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sparcs::core {
+
+TemporalPartitioner::TemporalPartitioner(const graph::TaskGraph& graph,
+                                         const arch::Device& device,
+                                         PartitionerOptions options)
+    : graph_(graph), device_(device), options_(std::move(options)) {
+  graph_.validate();
+  device_.validate();
+}
+
+PartitionerReport TemporalPartitioner::run() const {
+  PartitionerReport report;
+  report.n_min_lower = min_area_partitions(graph_, device_);
+  report.n_min_upper = max_area_partitions(graph_, device_);
+
+  double delta = options_.delta;
+  if (delta <= 0.0) {
+    const int n_start = report.n_min_lower + options_.alpha;
+    delta = std::max(1e-9, options_.delta_fraction *
+                               max_latency(graph_, device_, n_start));
+  }
+  report.delta_used = delta;
+
+  RefinePartitionsParams params;
+  params.alpha = options_.alpha;
+  params.gamma = options_.gamma;
+  params.delta = delta;
+  params.time_budget_sec = options_.time_budget_sec;
+  params.solver = options_.solver;
+  params.formulation = options_.formulation;
+  params.max_partitions = options_.max_partitions;
+
+  RefinePartitionsResult refined =
+      refine_partitions_bound(graph_, device_, params);
+  report.feasible = refined.best.has_value();
+  report.best = std::move(refined.best);
+  report.achieved_latency = refined.achieved_latency;
+  report.best_num_partitions = refined.best_num_partitions;
+  report.trace = std::move(refined.trace);
+  report.ilp_solves = refined.ilp_solves;
+  report.seconds = refined.seconds;
+  report.stopped_by_lower_bound = refined.stopped_by_lower_bound;
+
+  if (report.best) {
+    const DesignCheck check = validate_design(graph_, device_, *report.best);
+    SPARCS_CHECK(check.ok, "partitioner returned an invalid design: " +
+                               check.violation);
+  }
+  return report;
+}
+
+OptimalResult solve_optimal(const graph::TaskGraph& graph,
+                            const arch::Device& device, int num_partitions,
+                            milp::SolverParams solver_params,
+                            FormulationOptions formulation) {
+  Stopwatch stopwatch;
+  IlpFormulation form(graph, device, num_partitions,
+                      max_latency(graph, device, num_partitions),
+                      min_latency(graph, device, num_partitions),
+                      formulation);
+  form.set_latency_objective();
+  solver_params.stop_at_first_feasible = false;
+  // Optimality proofs need the LP relaxation bound (bound propagation alone
+  // cannot refute near-ties), and a 1 ns incumbent-improvement step: all
+  // workload latencies are integral nanoseconds, so requiring the next
+  // incumbent to be >= 1 ns better prunes the tie plateau without losing
+  // the true optimum.
+  solver_params.use_lp_bounding = true;
+  solver_params.objective_improvement =
+      std::max(solver_params.objective_improvement, 1.0);
+  const milp::MilpSolution solution = milp::solve(form.model(), solver_params);
+  OptimalResult result;
+  result.status = solution.status;
+  result.seconds = stopwatch.seconds();
+  result.nodes = solution.nodes_explored;
+  if (solution.has_solution()) {
+    result.best = form.decode(solution.values);
+    result.latency_ns = result.best->total_latency_ns;
+  }
+  return result;
+}
+
+OptimalResult solve_optimal_over_range(const graph::TaskGraph& graph,
+                                       const arch::Device& device, int alpha,
+                                       int gamma,
+                                       milp::SolverParams solver_params,
+                                       FormulationOptions formulation) {
+  const int n_lo = min_area_partitions(graph, device) + alpha;
+  const int n_hi = max_area_partitions(graph, device) + gamma;
+  OptimalResult best;
+  Stopwatch stopwatch;
+  for (int n = n_lo; n <= n_hi; ++n) {
+    OptimalResult r =
+        solve_optimal(graph, device, n, solver_params, formulation);
+    best.nodes += r.nodes;
+    if (r.best && (!best.best || r.latency_ns < best.latency_ns)) {
+      best.best = std::move(r.best);
+      best.latency_ns = r.latency_ns;
+      best.status = r.status;
+    } else if (!best.best) {
+      best.status = r.status;
+    }
+  }
+  best.seconds = stopwatch.seconds();
+  return best;
+}
+
+}  // namespace sparcs::core

@@ -1,0 +1,93 @@
+// Public façade of the temporal partitioning system: the iterative
+// partitioner (the paper's contribution) and the optimal-ILP reference mode
+// used for the AR-filter comparison and the "optimality does not scale"
+// experiment.
+#pragma once
+
+#include <optional>
+
+#include "arch/device.hpp"
+#include "core/bounds.hpp"
+#include "core/refine_partitions.hpp"
+#include "core/solution.hpp"
+#include "core/trace.hpp"
+#include "graph/task_graph.hpp"
+#include "milp/types.hpp"
+
+namespace sparcs::core {
+
+struct PartitionerOptions {
+  int alpha = 0;  ///< starting partition relaxation
+  int gamma = 1;  ///< ending partition relaxation
+  /// Absolute latency tolerance delta (ns). When <= 0, delta is derived as
+  /// delta_fraction * MaxLatency(N_start) (the paper's "small percentage of
+  /// MaxLatency" guidance).
+  double delta = 0.0;
+  double delta_fraction = 0.02;
+  double time_budget_sec = 1e30;
+  milp::SolverParams solver;
+  FormulationOptions formulation;
+  int max_partitions = 64;
+};
+
+/// Everything the partitioner learned, including the paper-table trace.
+struct PartitionerReport {
+  bool feasible = false;
+  std::optional<PartitionedDesign> best;
+  double achieved_latency = 0.0;
+  int best_num_partitions = 0;
+  Trace trace;
+  int ilp_solves = 0;
+  double seconds = 0.0;
+  bool stopped_by_lower_bound = false;
+  /// Derived inputs, for reporting.
+  int n_min_lower = 0;
+  int n_min_upper = 0;
+  double delta_used = 0.0;
+};
+
+/// Combined temporal partitioning and design space exploration.
+class TemporalPartitioner {
+ public:
+  TemporalPartitioner(const graph::TaskGraph& graph,
+                      const arch::Device& device,
+                      PartitionerOptions options = {});
+
+  /// Runs Refine_Partitions_Bound over Reduce_Latency over the ILP.
+  [[nodiscard]] PartitionerReport run() const;
+
+ private:
+  const graph::TaskGraph& graph_;
+  const arch::Device& device_;
+  PartitionerOptions options_;
+};
+
+/// Result of an optimal-ILP reference solve.
+struct OptimalResult {
+  milp::SolveStatus status = milp::SolveStatus::kLimitReached;
+  std::optional<PartitionedDesign> best;
+  double latency_ns = 0.0;
+  double seconds = 0.0;
+  std::int64_t nodes = 0;
+};
+
+/// Solves the full model at a fixed N to optimality (minimize
+/// sum_p d_p + C_T * eta), subject to the given solver limits. LP-relaxation
+/// bounding is forced on and the incumbent-improvement step is raised to
+/// 1 ns (latencies are integral nanoseconds in every workload here), which
+/// is what makes optimality proofs tractable on small graphs.
+OptimalResult solve_optimal(const graph::TaskGraph& graph,
+                            const arch::Device& device, int num_partitions,
+                            milp::SolverParams solver_params = {},
+                            FormulationOptions formulation = {});
+
+/// Optimal reference over the same partition range the iterative procedure
+/// explores (N^l_min + alpha .. N^u_min + gamma); returns the best proven
+/// design, or the limit status when no N finished.
+OptimalResult solve_optimal_over_range(const graph::TaskGraph& graph,
+                                       const arch::Device& device,
+                                       int alpha = 0, int gamma = 1,
+                                       milp::SolverParams solver_params = {},
+                                       FormulationOptions formulation = {});
+
+}  // namespace sparcs::core

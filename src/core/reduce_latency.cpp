@@ -1,0 +1,157 @@
+#include "core/reduce_latency.hpp"
+
+#include "core/baselines.hpp"
+#include "milp/solver.hpp"
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sparcs::core {
+namespace {
+
+/// One FormModel() + SolveModel() probe of the window [d_min, d_max].
+struct Probe {
+  IterationOutcome outcome = IterationOutcome::kInfeasible;
+  std::optional<PartitionedDesign> design;
+  double seconds = 0.0;
+  std::int64_t nodes = 0;
+};
+
+Probe solve_window(const graph::TaskGraph& graph, const arch::Device& device,
+                   int num_partitions, double d_max, double d_min,
+                   const ReduceLatencyParams& params,
+                   const PartitionedDesign* hint) {
+  Probe probe;
+  Stopwatch stopwatch;
+  IlpFormulation formulation(graph, device, num_partitions, d_max, d_min,
+                             params.formulation);
+  if (hint != nullptr) formulation.apply_hints(*hint);
+  milp::SolverParams solver_params = params.solver;
+  solver_params.stop_at_first_feasible = true;
+  const milp::MilpSolution solution =
+      milp::solve(formulation.model(), solver_params);
+  probe.seconds = stopwatch.seconds();
+  probe.nodes = solution.nodes_explored;
+  switch (solution.status) {
+    case milp::SolveStatus::kFeasible:
+    case milp::SolveStatus::kOptimal:
+      probe.outcome = IterationOutcome::kFeasible;
+      probe.design = formulation.decode(solution.values);
+      break;
+    case milp::SolveStatus::kInfeasible:
+      probe.outcome = IterationOutcome::kInfeasible;
+      break;
+    case milp::SolveStatus::kUnbounded:
+    case milp::SolveStatus::kLimitReached:
+      // A limit without a solution is treated like an infeasible probe by
+      // the search (as a time-limited CPLEX run would be), but the trace
+      // records it distinctly.
+      probe.outcome = IterationOutcome::kLimit;
+      break;
+  }
+  return probe;
+}
+
+}  // namespace
+
+ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
+                                   const arch::Device& device,
+                                   int num_partitions, double d_max,
+                                   double d_min,
+                                   const ReduceLatencyParams& params,
+                                   Trace& trace) {
+  SPARCS_REQUIRE(params.delta > 0.0, "latency tolerance delta must be > 0");
+  ReduceLatencyResult result;
+  int iteration = 0;
+
+  auto record = [&](double ub, double lb, const Probe& probe) {
+    IterationRecord row;
+    row.num_partitions = num_partitions;
+    row.iteration = ++iteration;
+    row.d_max_bound = ub;
+    row.d_min_bound = lb;
+    row.outcome = probe.outcome;
+    row.achieved_latency =
+        probe.design ? probe.design->total_latency_ns : 0.0;
+    row.seconds = probe.seconds;
+    row.nodes = probe.nodes;
+    trace.push_back(row);
+    ++result.ilp_solves;
+  };
+
+  // Warm-start portfolio (the analog of seeding CPLEX with MIP starts): the
+  // caller's design plus greedy first-fit placements with min-area and
+  // min-latency points. The two greedy shapes are structurally different
+  // (few dense-packed partitions vs. level-style fast partitions), which
+  // lets the DFS reach whichever regime the current latency window favors
+  // without a global reshuffle.
+  std::vector<PartitionedDesign> portfolio;
+  if (params.warm_start.has_value() &&
+      params.warm_start->num_partitions_used <= num_partitions) {
+    portfolio.push_back(*params.warm_start);
+  }
+  for (const PointPolicy policy :
+       {PointPolicy::kMinArea, PointPolicy::kMinLatency}) {
+    if (auto design =
+            greedy_first_fit(graph, device, policy, num_partitions)) {
+      portfolio.push_back(std::move(*design));
+    }
+  }
+  // Best hint for a window: the fastest portfolio design that satisfies the
+  // latency bound, else the fastest overall (pure guidance).
+  auto pick_hint = [&](double window_max) -> const PartitionedDesign* {
+    const PartitionedDesign* fitting = nullptr;
+    const PartitionedDesign* fastest = nullptr;
+    for (const PartitionedDesign& design : portfolio) {
+      if (fastest == nullptr ||
+          design.total_latency_ns < fastest->total_latency_ns) {
+        fastest = &design;
+      }
+      if (design.total_latency_ns <= window_max + 1e-9 &&
+          (fitting == nullptr ||
+           design.total_latency_ns < fitting->total_latency_ns)) {
+        fitting = &design;
+      }
+    }
+    return fitting != nullptr ? fitting : fastest;
+  };
+
+  Probe probe = solve_window(graph, device, num_partitions, d_max, d_min,
+                             params, pick_hint(d_max));
+  record(d_max, d_min, probe);
+  if (probe.outcome != IterationOutcome::kFeasible) {
+    return result;  // Da = 0: this partition bound yields no solution
+  }
+  result.best = std::move(probe.design);
+  result.achieved_latency = result.best->total_latency_ns;
+  portfolio.push_back(*result.best);
+
+  // Binary subdivision of the latency window.
+  while (d_max - d_min >= params.delta &&
+         result.achieved_latency - d_min >= params.delta) {
+    double target = (d_max + d_min) / 2.0;
+    // The probe must ask for something strictly better than the incumbent.
+    while (target >= result.achieved_latency) {
+      target = (target + d_min) / 2.0;
+    }
+    // Warm-start from the portfolio (which includes the running incumbent):
+    // the next solution is often a local perturbation of one of its shapes.
+    probe = solve_window(graph, device, num_partitions, target, d_min, params,
+                         pick_hint(target));
+    record(target, d_min, probe);
+    if (probe.outcome == IterationOutcome::kFeasible) {
+      result.best = std::move(probe.design);
+      result.achieved_latency = result.best->total_latency_ns;
+      d_max = result.achieved_latency;
+      portfolio.push_back(*result.best);
+    } else {
+      d_min = target;
+    }
+  }
+  SPARCS_ILOG << "Reduce_Latency(N=" << num_partitions
+              << ") achieved Da=" << result.achieved_latency << " ns in "
+              << result.ilp_solves << " solves";
+  return result;
+}
+
+}  // namespace sparcs::core

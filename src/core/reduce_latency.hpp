@@ -1,0 +1,48 @@
+// Algorithm Reduce_Latency (Figure 1): binary subdivision on the latency
+// window for a fixed partition bound N. Each probe re-forms the ILP with a
+// tighter upper bound and asks the solver for any feasible solution; a
+// feasible probe moves the upper bound down to the achieved latency, an
+// infeasible probe moves the lower bound up to the probed midpoint, until
+// the window (or the gap to the incumbent) is below the latency tolerance
+// delta.
+#pragma once
+
+#include <optional>
+
+#include "arch/device.hpp"
+#include "core/formulation.hpp"
+#include "core/solution.hpp"
+#include "core/trace.hpp"
+#include "graph/task_graph.hpp"
+#include "milp/types.hpp"
+
+namespace sparcs::core {
+
+struct ReduceLatencyParams {
+  double delta = 0.0;  ///< latency tolerance (same unit as latencies: ns)
+  milp::SolverParams solver;  ///< per-SolveModel limits
+  FormulationOptions formulation;
+  /// Optional warm start for the first probe (e.g. the best design from a
+  /// smaller partition bound); a greedy first-fit placement is used when
+  /// absent or unusable within the window.
+  std::optional<PartitionedDesign> warm_start;
+};
+
+struct ReduceLatencyResult {
+  /// Best design found, or nullopt when the partition bound is infeasible
+  /// (the paper's "Da = 0" case).
+  std::optional<PartitionedDesign> best;
+  double achieved_latency = 0.0;  ///< Da; 0 when infeasible
+  int ilp_solves = 0;
+};
+
+/// Runs the latency refinement for `num_partitions`, appending one
+/// IterationRecord per solve to `trace`.
+ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
+                                   const arch::Device& device,
+                                   int num_partitions, double d_max,
+                                   double d_min,
+                                   const ReduceLatencyParams& params,
+                                   Trace& trace);
+
+}  // namespace sparcs::core

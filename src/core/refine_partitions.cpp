@@ -1,0 +1,100 @@
+#include "core/refine_partitions.hpp"
+
+#include <algorithm>
+
+#include "core/bounds.hpp"
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sparcs::core {
+
+RefinePartitionsResult refine_partitions_bound(
+    const graph::TaskGraph& graph, const arch::Device& device,
+    const RefinePartitionsParams& params) {
+  SPARCS_REQUIRE(params.alpha >= 0, "alpha must be non-negative");
+  SPARCS_REQUIRE(params.gamma >= 0, "gamma must be non-negative");
+  graph.validate();
+  device.validate();
+
+  RefinePartitionsResult result;
+  Stopwatch stopwatch;
+
+  ReduceLatencyParams inner;
+  inner.delta = params.delta;
+  inner.solver = params.solver;
+  inner.formulation = params.formulation;
+
+  const int n_min_lower = min_area_partitions(graph, device);
+  const int n_min_upper = max_area_partitions(graph, device);
+  const int n_stop = n_min_upper + params.gamma;
+
+  auto time_expired = [&] {
+    return stopwatch.seconds() >= params.time_budget_sec;
+  };
+
+  // Phase 1: find the first feasible partition bound, starting at
+  // N^l_min + alpha and incrementing while Reduce_Latency returns Da = 0.
+  // Any design uses at most one partition per task, so feasibility is
+  // settled once N reaches the task count: growing N further cannot help.
+  const int n_phase1_cap = std::min(
+      params.max_partitions, std::max(graph.num_tasks(), n_stop));
+  int n = n_min_lower + params.alpha;
+  while (true) {
+    if (n > n_phase1_cap) {
+      result.seconds = stopwatch.seconds();
+      return result;  // provably no solution in the explorable range
+    }
+    const double d_max = max_latency(graph, device, n);
+    const double d_min = min_latency(graph, device, n);
+    ReduceLatencyResult reduced = reduce_latency(graph, device, n, d_max,
+                                                 d_min, inner, result.trace);
+    result.ilp_solves += reduced.ilp_solves;
+    if (reduced.best) {
+      result.best = std::move(reduced.best);
+      result.achieved_latency = reduced.achieved_latency;
+      result.best_num_partitions = n;
+      break;
+    }
+    if (time_expired()) {
+      result.seconds = stopwatch.seconds();
+      return result;  // no solution within the budget
+    }
+    ++n;
+  }
+
+  // Phase 2: relax N looking for strictly better solutions; the achieved
+  // latency Da becomes the upper bound of every further search.
+  while (n < n_stop && !time_expired()) {
+    ++n;
+    const double d_min = min_latency(graph, device, n);
+    if (d_min >= result.achieved_latency) {
+      // Even a perfect schedule at N partitions pays more reconfiguration
+      // overhead than the incumbent: the incumbent is final.
+      result.stopped_by_lower_bound = true;
+      break;
+    }
+    // Seed the new partition bound with the incumbent design: it stays valid
+    // when N grows and focuses the solver on local improvements.
+    inner.warm_start = result.best;
+    ReduceLatencyResult reduced =
+        reduce_latency(graph, device, n, result.achieved_latency, d_min,
+                       inner, result.trace);
+    result.ilp_solves += reduced.ilp_solves;
+    if (reduced.best &&
+        reduced.achieved_latency < result.achieved_latency) {
+      result.best = std::move(reduced.best);
+      result.achieved_latency = reduced.achieved_latency;
+      result.best_num_partitions = n;
+    }
+  }
+
+  result.seconds = stopwatch.seconds();
+  SPARCS_ILOG << "Refine_Partitions_Bound: Da=" << result.achieved_latency
+              << " ns at N=" << result.best_num_partitions << " ("
+              << result.ilp_solves << " solves, "
+              << result.seconds << " s)";
+  return result;
+}
+
+}  // namespace sparcs::core

@@ -1,0 +1,47 @@
+// Algorithm Refine_Partitions_Bound (Figure 2): the partition-space sweep.
+//
+// Starting from N = N^l_min + alpha, the sweep calls Reduce_Latency per
+// partition bound. Infeasible bounds increase N until a first solution
+// exists; afterwards N keeps relaxing (up to N^u_min + gamma or the time
+// budget), each time searching only below the best achieved latency Da, and
+// stops early as soon as MinLatency(N) >= Da — for large reconfiguration
+// overheads that fires immediately after the first solution.
+#pragma once
+
+#include <optional>
+
+#include "arch/device.hpp"
+#include "core/reduce_latency.hpp"
+#include "core/solution.hpp"
+#include "core/trace.hpp"
+#include "graph/task_graph.hpp"
+
+namespace sparcs::core {
+
+struct RefinePartitionsParams {
+  int alpha = 0;  ///< starting partition relaxation (added to N^l_min)
+  int gamma = 1;  ///< ending partition relaxation (added to N^u_min)
+  double delta = 0.0;  ///< latency tolerance forwarded to Reduce_Latency
+  double time_budget_sec = 1e30;  ///< TimeExpired() threshold for the sweep
+  milp::SolverParams solver;
+  FormulationOptions formulation;
+  /// Hard cap on N in case a pathological instance never becomes feasible.
+  int max_partitions = 64;
+};
+
+struct RefinePartitionsResult {
+  std::optional<PartitionedDesign> best;
+  double achieved_latency = 0.0;  ///< Da of the returned design; 0 if none
+  int best_num_partitions = 0;    ///< N at which `best` was found
+  Trace trace;                    ///< all SolveModel() calls, in order
+  int ilp_solves = 0;
+  double seconds = 0.0;
+  /// True when the sweep ended because MinLatency(N) >= Da.
+  bool stopped_by_lower_bound = false;
+};
+
+RefinePartitionsResult refine_partitions_bound(
+    const graph::TaskGraph& graph, const arch::Device& device,
+    const RefinePartitionsParams& params);
+
+}  // namespace sparcs::core

@@ -1,0 +1,32 @@
+// Iteration trace records, mirroring the columns of the paper's result
+// tables (N, I, Dmax, Dmin, Da / "Inf.").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sparcs::core {
+
+/// Outcome of one SolveModel() call inside the refinement loops.
+enum class IterationOutcome : std::uint8_t {
+  kFeasible,
+  kInfeasible,
+  kLimit,  ///< solver hit its node/time budget without an answer
+};
+
+/// One row of the paper-style trace tables.
+struct IterationRecord {
+  int num_partitions = 0;       ///< N
+  int iteration = 0;            ///< I (1-based within this N)
+  double d_max_bound = 0.0;     ///< latency upper bound used by the solve
+  double d_min_bound = 0.0;     ///< latency lower bound used by the solve
+  IterationOutcome outcome = IterationOutcome::kInfeasible;
+  double achieved_latency = 0.0;  ///< Da (recomputed), valid when feasible
+  double seconds = 0.0;           ///< wall time of the solve
+  std::int64_t nodes = 0;         ///< branch & bound nodes explored
+};
+
+using Trace = std::vector<IterationRecord>;
+
+}  // namespace sparcs::core

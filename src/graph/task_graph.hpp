@@ -1,0 +1,110 @@
+// Task graph model (Section 3 of the paper).
+//
+// The behavioral specification is a DAG whose vertices are tasks and whose
+// edges carry the number of data units communicated between tasks, B(t1,t2).
+// Each task additionally reads B(env,t) data units from the environment and
+// writes B(t,env) back to it; both must be buffered in on-board memory when
+// crossing a temporal partition boundary. Every task carries the set of
+// design points (area/latency alternatives with an associated module set)
+// produced by the high-level synthesis estimator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sparcs::graph {
+
+/// Index of a task within its TaskGraph (dense, 0-based).
+using TaskId = std::int32_t;
+
+/// One synthesized design alternative for a task: the module set used to
+/// implement it, its area cost R(m) and its execution latency D(m).
+struct DesignPoint {
+  std::string module_set;  ///< human-readable module set, e.g. "2add,1mul"
+  double area = 0.0;       ///< R(m), in device resource units (CLBs)
+  double latency_ns = 0.0; ///< D(m), total execution time in nanoseconds
+
+  friend bool operator==(const DesignPoint&, const DesignPoint&) = default;
+};
+
+/// A vertex of the task graph.
+struct Task {
+  std::string name;
+  std::vector<DesignPoint> design_points;  ///< the module sets M_t
+  double env_in = 0.0;   ///< B(env, t): data units read from the host
+  double env_out = 0.0;  ///< B(t, env): data units written to the host
+};
+
+/// A data dependency t1 -> t2 transferring `data_units` units, B(t1,t2).
+struct DataEdge {
+  TaskId from = -1;
+  TaskId to = -1;
+  double data_units = 0.0;
+};
+
+/// Directed acyclic task graph with per-task design points.
+///
+/// Tasks and edges are append-only; `validate()` checks the structural
+/// invariants (acyclicity, non-empty design point sets, positive costs)
+/// and is called by every consumer entry point.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a task and returns its id. The task name must be non-empty and
+  /// unique within the graph.
+  TaskId add_task(Task task);
+
+  /// Convenience overload building the Task in place.
+  TaskId add_task(std::string name, std::vector<DesignPoint> design_points,
+                  double env_in = 0.0, double env_out = 0.0);
+
+  /// Adds the dependency edge from -> to with B(from,to) = data_units.
+  /// Parallel edges are merged by summing their data units.
+  void add_edge(TaskId from, TaskId to, double data_units);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] Task& mutable_task(TaskId id);
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+  [[nodiscard]] const std::vector<DataEdge>& edges() const { return edges_; }
+
+  /// Ids of direct successors / predecessors of `id`.
+  [[nodiscard]] const std::vector<TaskId>& successors(TaskId id) const;
+  [[nodiscard]] const std::vector<TaskId>& predecessors(TaskId id) const;
+
+  /// Tasks with no predecessors (the T_r "root" tasks).
+  [[nodiscard]] std::vector<TaskId> roots() const;
+  /// Tasks with no successors (the T_l "leaf" tasks).
+  [[nodiscard]] std::vector<TaskId> leaves() const;
+
+  /// Looks a task up by name; returns -1 when absent.
+  [[nodiscard]] TaskId find_task(const std::string& name) const;
+
+  /// Smallest / largest area over a task's design points.
+  [[nodiscard]] double min_area(TaskId id) const;
+  [[nodiscard]] double max_area(TaskId id) const;
+  /// Smallest / largest latency over a task's design points.
+  [[nodiscard]] double min_latency(TaskId id) const;
+  [[nodiscard]] double max_latency(TaskId id) const;
+
+  /// Throws InvalidArgumentError when a structural invariant is violated:
+  /// the graph has a cycle, a task has no design point, or a design point
+  /// has non-positive area or negative latency.
+  void validate() const;
+
+ private:
+  void check_task_id(TaskId id) const;
+
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<DataEdge> edges_;
+  std::vector<std::vector<TaskId>> successors_;
+  std::vector<std::vector<TaskId>> predecessors_;
+};
+
+}  // namespace sparcs::graph

@@ -1,0 +1,117 @@
+#include "hls/design_point_gen.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sparcs::hls {
+
+double allocation_area(const Dfg& dfg, const Allocation& allocation,
+                       const ModuleLibrary& library) {
+  double area = 0.0;
+  for (const OpKind kind : dfg.kinds_used()) {
+    const int width = dfg.max_bitwidth_of(kind);
+    const int units = allocation.of(kind);
+    area += units * (library.area(kind, width) +
+                     library.steering_overhead_clb(width));
+  }
+  return area;
+}
+
+std::vector<graph::DesignPoint> pareto_filter(
+    std::vector<graph::DesignPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const graph::DesignPoint& a, const graph::DesignPoint& b) {
+              if (a.area != b.area) return a.area < b.area;
+              return a.latency_ns < b.latency_ns;
+            });
+  std::vector<graph::DesignPoint> front;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (const graph::DesignPoint& p : points) {
+    if (p.latency_ns < best_latency - 1e-12) {
+      front.push_back(p);
+      best_latency = p.latency_ns;
+    }
+  }
+  return front;
+}
+
+std::vector<graph::DesignPoint> generate_design_points(
+    const Dfg& dfg, const ModuleLibrary& library,
+    const GeneratorOptions& options) {
+  dfg.validate();
+  SPARCS_REQUIRE(options.max_units_per_kind >= 1,
+                 "max_units_per_kind must be at least 1");
+  SPARCS_REQUIRE(options.max_points >= 1, "max_points must be at least 1");
+
+  const std::vector<OpKind> kinds = dfg.kinds_used();
+  // Per-kind candidate unit counts 1..min(max_units, ops of kind): more FUs
+  // than operations can never help.
+  std::vector<int> maxima;
+  maxima.reserve(kinds.size());
+  for (const OpKind kind : kinds) {
+    maxima.push_back(
+        std::min(options.max_units_per_kind, dfg.count_of(kind)));
+  }
+
+  std::vector<double> clocks = options.clock_candidates_ns;
+  if (clocks.empty()) clocks.push_back(options.scheduler.clock_ns);
+
+  std::vector<graph::DesignPoint> points;
+  std::vector<int> counts(kinds.size(), 1);
+  while (true) {
+    Allocation alloc;
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      alloc.set(kinds[k], counts[k]);
+    }
+    for (const double clock : clocks) {
+      SchedulerOptions sched_options = options.scheduler;
+      sched_options.clock_ns = clock;
+      const ScheduleResult sched =
+          list_schedule(dfg, alloc, library, sched_options);
+      graph::DesignPoint point;
+      point.module_set = alloc.to_string(dfg);
+      if (clocks.size() > 1) {
+        point.module_set += sparcs::str_format("@%gns", clock);
+      }
+      point.area = allocation_area(dfg, alloc, library);
+      point.latency_ns = sched.latency_ns;
+      points.push_back(std::move(point));
+    }
+
+    // Odometer over allocation counts.
+    std::size_t k = 0;
+    while (k < kinds.size()) {
+      if (++counts[k] <= maxima[k]) break;
+      counts[k] = 1;
+      ++k;
+    }
+    if (k == kinds.size()) break;
+  }
+
+  std::vector<graph::DesignPoint> front = pareto_filter(std::move(points));
+
+  // Thin an over-long front to max_points, keeping the extremes and an
+  // evenly spread interior.
+  if (front.size() > options.max_points) {
+    std::vector<graph::DesignPoint> thinned;
+    const std::size_t n = front.size();
+    const std::size_t want = options.max_points;
+    for (std::size_t i = 0; i < want; ++i) {
+      const std::size_t idx = i * (n - 1) / (want - 1);
+      thinned.push_back(front[idx]);
+    }
+    thinned.erase(std::unique(thinned.begin(), thinned.end(),
+                              [](const graph::DesignPoint& a,
+                                 const graph::DesignPoint& b) {
+                                return a.module_set == b.module_set;
+                              }),
+                  thinned.end());
+    front = std::move(thinned);
+  }
+  return front;
+}
+
+}  // namespace sparcs::hls

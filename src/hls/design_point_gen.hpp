@@ -1,0 +1,46 @@
+// Design point generation: enumerate FU allocations for a task's DFG,
+// schedule each, and keep the Pareto-optimal (area, latency) alternatives.
+// This reproduces the role of the paper's high-level synthesis estimation
+// tool: every task enters the partitioner with a set of module sets M_t,
+// each characterized by R(m) and D(m).
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "hls/dfg.hpp"
+#include "hls/module_library.hpp"
+#include "hls/scheduler.hpp"
+
+namespace sparcs::hls {
+
+struct GeneratorOptions {
+  SchedulerOptions scheduler;
+  /// Upper bound on FU instances of one kind in an allocation.
+  int max_units_per_kind = 4;
+  /// Keep at most this many Pareto points (widest-spread subset when more).
+  std::size_t max_points = 8;
+  /// Optional clock-period exploration: every allocation is scheduled at
+  /// each candidate period and the Pareto filter merges the results (a slow
+  /// clock wastes slack on fast operations, a fast clock multi-cycles slow
+  /// ones). Empty = use scheduler.clock_ns only.
+  std::vector<double> clock_candidates_ns;
+};
+
+/// Generates the Pareto front of design points for one task.
+/// Points are sorted by increasing area (hence decreasing latency).
+std::vector<graph::DesignPoint> generate_design_points(
+    const Dfg& dfg, const ModuleLibrary& library,
+    const GeneratorOptions& options = {});
+
+/// Area of one allocation: FU areas plus per-FU steering overhead.
+double allocation_area(const Dfg& dfg, const Allocation& allocation,
+                       const ModuleLibrary& library);
+
+/// Removes dominated points (a point dominates another when it is no worse
+/// in both area and latency and better in at least one). The result is
+/// sorted by increasing area.
+std::vector<graph::DesignPoint> pareto_filter(
+    std::vector<graph::DesignPoint> points);
+
+}  // namespace sparcs::hls

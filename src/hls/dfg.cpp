@@ -1,0 +1,120 @@
+#include "hls/dfg.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace sparcs::hls {
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd:
+      return "add";
+    case OpKind::kSub:
+      return "sub";
+    case OpKind::kMul:
+      return "mul";
+    case OpKind::kCompare:
+      return "cmp";
+    case OpKind::kShift:
+      return "shl";
+  }
+  return "unknown";
+}
+
+OpId Dfg::add_op(OpKind kind, int bitwidth, std::string name) {
+  SPARCS_REQUIRE(bitwidth > 0 && bitwidth <= 64, "bitwidth must be in [1,64]");
+  Operation op;
+  op.kind = kind;
+  op.bitwidth = bitwidth;
+  op.name = name.empty()
+                ? to_string(kind) + std::to_string(ops_.size())
+                : std::move(name);
+  ops_.push_back(std::move(op));
+  consumers_.emplace_back();
+  producers_.emplace_back();
+  return static_cast<OpId>(ops_.size() - 1);
+}
+
+void Dfg::add_dep(OpId producer, OpId consumer) {
+  check_id(producer);
+  check_id(consumer);
+  SPARCS_REQUIRE(producer != consumer, "self dependency");
+  consumers_[static_cast<std::size_t>(producer)].push_back(consumer);
+  producers_[static_cast<std::size_t>(consumer)].push_back(producer);
+}
+
+const Operation& Dfg::op(OpId id) const {
+  check_id(id);
+  return ops_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<OpId>& Dfg::consumers(OpId id) const {
+  check_id(id);
+  return consumers_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<OpId>& Dfg::producers(OpId id) const {
+  check_id(id);
+  return producers_[static_cast<std::size_t>(id)];
+}
+
+std::vector<OpId> Dfg::topological_order() const {
+  const int n = num_ops();
+  std::vector<int> in_degree(static_cast<std::size_t>(n), 0);
+  for (OpId id = 0; id < n; ++id) {
+    in_degree[static_cast<std::size_t>(id)] =
+        static_cast<int>(producers_[static_cast<std::size_t>(id)].size());
+  }
+  std::priority_queue<OpId, std::vector<OpId>, std::greater<>> ready;
+  for (OpId id = 0; id < n; ++id) {
+    if (in_degree[static_cast<std::size_t>(id)] == 0) ready.push(id);
+  }
+  std::vector<OpId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const OpId id = ready.top();
+    ready.pop();
+    order.push_back(id);
+    for (const OpId succ : consumers_[static_cast<std::size_t>(id)]) {
+      if (--in_degree[static_cast<std::size_t>(succ)] == 0) ready.push(succ);
+    }
+  }
+  SPARCS_REQUIRE(static_cast<int>(order.size()) == n, "DFG contains a cycle");
+  return order;
+}
+
+std::vector<OpKind> Dfg::kinds_used() const {
+  std::vector<OpKind> kinds;
+  for (const OpKind k : {OpKind::kAdd, OpKind::kSub, OpKind::kMul,
+                         OpKind::kCompare, OpKind::kShift}) {
+    if (count_of(k) > 0) kinds.push_back(k);
+  }
+  return kinds;
+}
+
+int Dfg::count_of(OpKind kind) const {
+  return static_cast<int>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [&](const Operation& op) { return op.kind == kind; }));
+}
+
+int Dfg::max_bitwidth_of(OpKind kind) const {
+  int best = 0;
+  for (const Operation& op : ops_) {
+    if (op.kind == kind) best = std::max(best, op.bitwidth);
+  }
+  return best;
+}
+
+void Dfg::validate() const {
+  SPARCS_REQUIRE(num_ops() > 0, "DFG is empty");
+  (void)topological_order();
+}
+
+void Dfg::check_id(OpId id) const {
+  SPARCS_REQUIRE(id >= 0 && id < num_ops(), "operation id out of range");
+}
+
+}  // namespace sparcs::hls

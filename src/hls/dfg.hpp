@@ -1,0 +1,73 @@
+// Operation-level dataflow graphs: the behavioral view of a single task that
+// the high-level synthesis estimator schedules to produce design points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sparcs::hls {
+
+/// Kinds of functional operations supported by the estimator.
+enum class OpKind : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kCompare,
+  kShift,
+};
+
+[[nodiscard]] std::string to_string(OpKind kind);
+
+/// Index of an operation within its Dfg.
+using OpId = std::int32_t;
+
+/// One operation with its result bitwidth.
+struct Operation {
+  OpKind kind = OpKind::kAdd;
+  int bitwidth = 16;
+  std::string name;
+};
+
+/// Dataflow graph of operations inside one task (a DAG: edges are
+/// producer -> consumer value dependencies).
+class Dfg {
+ public:
+  Dfg() = default;
+  explicit Dfg(std::string name) : name_(std::move(name)) {}
+
+  /// Appends an operation, returning its id.
+  OpId add_op(OpKind kind, int bitwidth, std::string name = {});
+  /// Adds the dependency producer -> consumer.
+  void add_dep(OpId producer, OpId consumer);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int num_ops() const { return static_cast<int>(ops_.size()); }
+  [[nodiscard]] const Operation& op(OpId id) const;
+  [[nodiscard]] const std::vector<Operation>& ops() const { return ops_; }
+  [[nodiscard]] const std::vector<OpId>& consumers(OpId id) const;
+  [[nodiscard]] const std::vector<OpId>& producers(OpId id) const;
+
+  /// Operations in a valid topological order; throws on cycles.
+  [[nodiscard]] std::vector<OpId> topological_order() const;
+
+  /// Distinct operation kinds used, in enum order.
+  [[nodiscard]] std::vector<OpKind> kinds_used() const;
+  /// Number of operations of the given kind.
+  [[nodiscard]] int count_of(OpKind kind) const;
+  /// Maximum bitwidth over operations of the given kind (0 if none).
+  [[nodiscard]] int max_bitwidth_of(OpKind kind) const;
+
+  /// Throws InvalidArgumentError when empty or cyclic.
+  void validate() const;
+
+ private:
+  void check_id(OpId id) const;
+
+  std::string name_;
+  std::vector<Operation> ops_;
+  std::vector<std::vector<OpId>> consumers_;
+  std::vector<std::vector<OpId>> producers_;
+};
+
+}  // namespace sparcs::hls

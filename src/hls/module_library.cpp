@@ -1,0 +1,56 @@
+#include "hls/module_library.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace sparcs::hls {
+namespace {
+
+std::size_t kind_index(OpKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace
+
+ModuleLibrary ModuleLibrary::xc4000() {
+  ModuleLibrary lib;
+  // Ripple-carry adder: ~w/2 CLBs, ~1.5 ns per bit of carry chain + setup.
+  lib.set_model(OpKind::kAdd, {0.5, 0.0, 1.0, 1.5, 4.0});
+  lib.set_model(OpKind::kSub, {0.5, 0.0, 1.0, 1.5, 4.0});
+  // Array multiplier: ~w^2/4 CLBs, delay ~2 carry chains.
+  lib.set_model(OpKind::kMul, {0.0, 0.25, 2.0, 3.0, 8.0});
+  // Comparator: linear, slightly cheaper than an adder.
+  lib.set_model(OpKind::kCompare, {0.35, 0.0, 1.0, 1.2, 3.0});
+  // Barrel shifter: log structure approximated linearly.
+  lib.set_model(OpKind::kShift, {0.4, 0.0, 1.0, 0.8, 3.0});
+  return lib;
+}
+
+FuSpec ModuleLibrary::fu(OpKind kind, int bitwidth) const {
+  SPARCS_REQUIRE(bitwidth > 0 && bitwidth <= 64, "bitwidth must be in [1,64]");
+  const KindModel& m = models_[kind_index(kind)];
+  FuSpec spec;
+  spec.kind = kind;
+  spec.bitwidth = bitwidth;
+  const double w = static_cast<double>(bitwidth);
+  spec.area_clb = std::ceil(m.area_base + m.area_per_bit * w +
+                            m.area_per_bit2 * w * w);
+  spec.delay_ns = m.delay_base + m.delay_per_bit * w;
+  return spec;
+}
+
+double ModuleLibrary::steering_overhead_clb(int bitwidth) const {
+  // One register plus one 2:1 multiplexer per result bit, two bits per CLB.
+  return std::ceil(static_cast<double>(bitwidth) / 2.0);
+}
+
+void ModuleLibrary::set_model(OpKind kind, KindModel model) {
+  models_[kind_index(kind)] = model;
+}
+
+const ModuleLibrary::KindModel& ModuleLibrary::model(OpKind kind) const {
+  return models_[kind_index(kind)];
+}
+
+}  // namespace sparcs::hls

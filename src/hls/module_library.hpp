@@ -1,0 +1,63 @@
+// FPGA module library: area/delay characterization of functional units as a
+// function of operation kind and bitwidth, in the style of the XC4000-class
+// CLB costings the paper's estimation tool targeted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/dfg.hpp"
+
+namespace sparcs::hls {
+
+/// One functional-unit characterization.
+struct FuSpec {
+  OpKind kind = OpKind::kAdd;
+  int bitwidth = 16;
+  double area_clb = 0.0;   ///< area in configurable-logic-block equivalents
+  double delay_ns = 0.0;   ///< combinational latency of one operation
+};
+
+/// Parameterized area/delay models per operation kind.
+///
+/// The default models follow classic FPGA cost curves: ripple-carry
+/// adders/subtractors grow linearly in width (one CLB per two bits), array
+/// multipliers quadratically (w^2/4 CLBs), comparators/shifters linearly.
+class ModuleLibrary {
+ public:
+  /// Library with the default XC4000-class models.
+  static ModuleLibrary xc4000();
+
+  /// Characterizes a functional unit for `kind` at `bitwidth`.
+  [[nodiscard]] FuSpec fu(OpKind kind, int bitwidth) const;
+
+  /// Shorthands for the two FU attributes.
+  [[nodiscard]] double area(OpKind kind, int bitwidth) const {
+    return fu(kind, bitwidth).area_clb;
+  }
+  [[nodiscard]] double delay(OpKind kind, int bitwidth) const {
+    return fu(kind, bitwidth).delay_ns;
+  }
+
+  /// Per-FU register/steering overhead added by the allocator when summing
+  /// design-point area (multiplexers, result registers).
+  [[nodiscard]] double steering_overhead_clb(int bitwidth) const;
+
+  /// Model coefficients; exposed so alternative device families can be
+  /// expressed by scaling.
+  struct KindModel {
+    double area_per_bit = 0.0;
+    double area_per_bit2 = 0.0;  ///< quadratic term (multipliers)
+    double area_base = 0.0;
+    double delay_per_bit = 0.0;
+    double delay_base = 0.0;
+  };
+
+  void set_model(OpKind kind, KindModel model);
+  [[nodiscard]] const KindModel& model(OpKind kind) const;
+
+ private:
+  KindModel models_[5];
+};
+
+}  // namespace sparcs::hls

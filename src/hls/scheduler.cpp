@@ -1,0 +1,190 @@
+#include "hls/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sparcs::hls {
+namespace {
+
+/// Cycles an operation occupies its FU.
+int op_cycles(const Dfg& dfg, OpId id, const ModuleLibrary& library,
+              double clock_ns) {
+  const Operation& op = dfg.op(id);
+  const double delay = library.delay(op.kind, op.bitwidth);
+  return std::max(1, static_cast<int>(std::ceil(delay / clock_ns - 1e-9)));
+}
+
+/// Longest path (in cycles) from each op to any sink, inclusive: the list
+/// scheduling priority.
+std::vector<int> path_priority(const Dfg& dfg, const ModuleLibrary& library,
+                               double clock_ns) {
+  const std::vector<OpId> order = dfg.topological_order();
+  std::vector<int> prio(static_cast<std::size_t>(dfg.num_ops()), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const OpId id = *it;
+    int best = 0;
+    for (const OpId succ : dfg.consumers(id)) {
+      best = std::max(best, prio[static_cast<std::size_t>(succ)]);
+    }
+    prio[static_cast<std::size_t>(id)] =
+        best + op_cycles(dfg, id, library, clock_ns);
+  }
+  return prio;
+}
+
+}  // namespace
+
+std::string Allocation::to_string(const Dfg& dfg) const {
+  std::vector<std::string> parts;
+  for (const OpKind kind : dfg.kinds_used()) {
+    parts.push_back(sparcs::str_format("%dx%s%d", of(kind),
+                                       hls::to_string(kind).c_str(),
+                                       dfg.max_bitwidth_of(kind)));
+  }
+  return join(parts, "+");
+}
+
+ScheduleResult list_schedule(const Dfg& dfg, const Allocation& allocation,
+                             const ModuleLibrary& library,
+                             const SchedulerOptions& options) {
+  dfg.validate();
+  SPARCS_REQUIRE(options.clock_ns > 0.0, "clock period must be positive");
+  for (const OpKind kind : dfg.kinds_used()) {
+    SPARCS_REQUIRE(allocation.of(kind) >= 1,
+                   "allocation provides no FU for kind " + to_string(kind));
+  }
+
+  const int n = dfg.num_ops();
+  const std::vector<int> prio = path_priority(dfg, library, options.clock_ns);
+
+  ScheduleResult result;
+  result.clock_ns = options.clock_ns;
+  result.start_cycle.assign(static_cast<std::size_t>(n), -1);
+  result.duration_cycles.assign(static_cast<std::size_t>(n), 0);
+  for (OpId id = 0; id < n; ++id) {
+    result.duration_cycles[static_cast<std::size_t>(id)] =
+        op_cycles(dfg, id, library, options.clock_ns);
+  }
+
+  // free_at[kind][k] = first cycle FU instance k of that kind is available.
+  std::array<std::vector<int>, 5> free_at;
+  for (std::size_t k = 0; k < free_at.size(); ++k) {
+    free_at[k].assign(static_cast<std::size_t>(std::max(
+                          0, allocation.count[k])),
+                      0);
+  }
+
+  std::vector<int> unscheduled_preds(static_cast<std::size_t>(n), 0);
+  std::vector<int> ready_cycle(static_cast<std::size_t>(n), 0);
+  for (OpId id = 0; id < n; ++id) {
+    unscheduled_preds[static_cast<std::size_t>(id)] =
+        static_cast<int>(dfg.producers(id).size());
+  }
+
+  std::vector<OpId> ready;
+  for (OpId id = 0; id < n; ++id) {
+    if (unscheduled_preds[static_cast<std::size_t>(id)] == 0) {
+      ready.push_back(id);
+    }
+  }
+
+  int scheduled = 0;
+  while (scheduled < n) {
+    SPARCS_CHECK(!ready.empty(), "list scheduler stalled (cyclic DFG?)");
+    // Highest priority first; ties by id for determinism.
+    std::sort(ready.begin(), ready.end(), [&](OpId a, OpId b) {
+      const int pa = prio[static_cast<std::size_t>(a)];
+      const int pb = prio[static_cast<std::size_t>(b)];
+      return pa != pb ? pa > pb : a < b;
+    });
+    // Schedule the best ready op on the FU of its kind that frees earliest.
+    const OpId id = ready.front();
+    ready.erase(ready.begin());
+    auto& units = free_at[static_cast<std::size_t>(dfg.op(id).kind)];
+    auto unit = std::min_element(units.begin(), units.end());
+    const int start =
+        std::max(*unit, ready_cycle[static_cast<std::size_t>(id)]);
+    const int dur = result.duration_cycles[static_cast<std::size_t>(id)];
+    result.start_cycle[static_cast<std::size_t>(id)] = start;
+    *unit = start + dur;
+    result.total_cycles = std::max(result.total_cycles, start + dur);
+    ++scheduled;
+    for (const OpId succ : dfg.consumers(id)) {
+      ready_cycle[static_cast<std::size_t>(succ)] =
+          std::max(ready_cycle[static_cast<std::size_t>(succ)], start + dur);
+      if (--unscheduled_preds[static_cast<std::size_t>(succ)] == 0) {
+        ready.push_back(succ);
+      }
+    }
+  }
+
+  result.latency_ns = result.total_cycles * options.clock_ns;
+  return result;
+}
+
+int asap_length_cycles(const Dfg& dfg, const ModuleLibrary& library,
+                       const SchedulerOptions& options) {
+  const std::vector<int> starts = asap_schedule(dfg, library, options);
+  int best = 0;
+  for (OpId id = 0; id < dfg.num_ops(); ++id) {
+    best = std::max(best, starts[static_cast<std::size_t>(id)] +
+                              op_cycles(dfg, id, library, options.clock_ns));
+  }
+  return best;
+}
+
+std::vector<int> asap_schedule(const Dfg& dfg, const ModuleLibrary& library,
+                               const SchedulerOptions& options) {
+  const std::vector<OpId> order = dfg.topological_order();
+  std::vector<int> start(static_cast<std::size_t>(dfg.num_ops()), 0);
+  for (const OpId id : order) {
+    for (const OpId pred : dfg.producers(id)) {
+      start[static_cast<std::size_t>(id)] = std::max(
+          start[static_cast<std::size_t>(id)],
+          start[static_cast<std::size_t>(pred)] +
+              op_cycles(dfg, pred, library, options.clock_ns));
+    }
+  }
+  return start;
+}
+
+std::vector<int> alap_schedule(const Dfg& dfg, const ModuleLibrary& library,
+                               const SchedulerOptions& options,
+                               int deadline_cycles) {
+  const int asap_len = asap_length_cycles(dfg, library, options);
+  if (deadline_cycles < 0) deadline_cycles = asap_len;
+  SPARCS_REQUIRE(deadline_cycles >= asap_len,
+                 "deadline shorter than the ASAP length is infeasible");
+  const std::vector<OpId> order = dfg.topological_order();
+  std::vector<int> start(static_cast<std::size_t>(dfg.num_ops()), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const OpId id = *it;
+    int latest =
+        deadline_cycles - op_cycles(dfg, id, library, options.clock_ns);
+    for (const OpId succ : dfg.consumers(id)) {
+      latest = std::min(latest,
+                        start[static_cast<std::size_t>(succ)] -
+                            op_cycles(dfg, id, library, options.clock_ns));
+    }
+    start[static_cast<std::size_t>(id)] = latest;
+  }
+  return start;
+}
+
+std::vector<int> mobility(const Dfg& dfg, const ModuleLibrary& library,
+                          const SchedulerOptions& options,
+                          int deadline_cycles) {
+  const std::vector<int> asap = asap_schedule(dfg, library, options);
+  const std::vector<int> alap =
+      alap_schedule(dfg, library, options, deadline_cycles);
+  std::vector<int> result(asap.size());
+  for (std::size_t i = 0; i < asap.size(); ++i) {
+    result[i] = alap[i] - asap[i];
+  }
+  return result;
+}
+
+}  // namespace sparcs::hls

@@ -1,0 +1,72 @@
+// Resource-constrained list scheduler for operation dataflow graphs.
+//
+// Given an allocation of functional units per operation kind, the scheduler
+// produces a feasible multi-cycle schedule (critical-path priority, FUs are
+// not pipelined) from which the estimator derives the latency of a design
+// point.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "hls/dfg.hpp"
+#include "hls/module_library.hpp"
+
+namespace sparcs::hls {
+
+/// Number of functional units allocated per operation kind.
+struct Allocation {
+  std::array<int, 5> count{};  ///< indexed by OpKind
+
+  [[nodiscard]] int of(OpKind kind) const {
+    return count[static_cast<std::size_t>(kind)];
+  }
+  void set(OpKind kind, int n) { count[static_cast<std::size_t>(kind)] = n; }
+
+  /// Renders e.g. "2xadd16+1xmul16"; widths come from the DFG.
+  [[nodiscard]] std::string to_string(const Dfg& dfg) const;
+};
+
+/// Outcome of scheduling one DFG under one allocation.
+struct ScheduleResult {
+  int total_cycles = 0;
+  double clock_ns = 0.0;
+  double latency_ns = 0.0;             ///< total_cycles * clock_ns
+  std::vector<int> start_cycle;        ///< per op
+  std::vector<int> duration_cycles;    ///< per op
+};
+
+struct SchedulerOptions {
+  /// Target clock period; each operation takes ceil(delay / clock) cycles.
+  double clock_ns = 10.0;
+};
+
+/// List-schedules `dfg` on `allocation` functional units from `library`.
+/// Requires at least one FU for every kind present in the DFG.
+ScheduleResult list_schedule(const Dfg& dfg, const Allocation& allocation,
+                             const ModuleLibrary& library,
+                             const SchedulerOptions& options = {});
+
+/// Unconstrained (ASAP) schedule length in cycles: a lower bound on any
+/// resource-constrained schedule.
+int asap_length_cycles(const Dfg& dfg, const ModuleLibrary& library,
+                       const SchedulerOptions& options = {});
+
+/// Unconstrained as-soon-as-possible start cycle of every operation.
+std::vector<int> asap_schedule(const Dfg& dfg, const ModuleLibrary& library,
+                               const SchedulerOptions& options = {});
+
+/// As-late-as-possible start cycles against `deadline_cycles` (pass -1 for
+/// the ASAP length — the tightest feasible deadline).
+std::vector<int> alap_schedule(const Dfg& dfg, const ModuleLibrary& library,
+                               const SchedulerOptions& options = {},
+                               int deadline_cycles = -1);
+
+/// Scheduling freedom of every operation: ALAP start minus ASAP start under
+/// the given deadline. Zero-mobility operations form the critical path.
+std::vector<int> mobility(const Dfg& dfg, const ModuleLibrary& library,
+                          const SchedulerOptions& options = {},
+                          int deadline_cycles = -1);
+
+}  // namespace sparcs::hls

@@ -1,0 +1,85 @@
+#include "io/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace sparcs::io {
+namespace {
+
+std::string node_id(const graph::TaskGraph& graph, graph::TaskId t) {
+  std::string id = graph.task(t).name;
+  for (char& c : id) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return id;
+}
+
+void write_edges(std::ostream& os, const graph::TaskGraph& graph) {
+  for (const graph::DataEdge& e : graph.edges()) {
+    os << "  " << node_id(graph, e.from) << " -> " << node_id(graph, e.to)
+       << " [label=\"" << trim_double(e.data_units) << "\"];\n";
+  }
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const graph::TaskGraph& graph) {
+  os << "digraph \"" << graph.name() << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box];\n";
+  for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const graph::Task& task = graph.task(t);
+    os << "  " << node_id(graph, t) << " [label=\"" << task.name << "\\n"
+       << task.design_points.size() << " design points\"];\n";
+  }
+  write_edges(os, graph);
+  os << "}\n";
+}
+
+void write_dot(std::ostream& os, const graph::TaskGraph& graph,
+               const core::PartitionedDesign& design) {
+  os << "digraph \"" << graph.name() << "_partitioned\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box];\n";
+  for (int p = 1; p <= design.num_partitions_allocated; ++p) {
+    std::ostringstream body;
+    for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+      const core::TaskAssignment& a =
+          design.assignment[static_cast<std::size_t>(t)];
+      if (a.partition != p) continue;
+      const graph::DesignPoint& dp =
+          graph.task(t).design_points[static_cast<std::size_t>(a.design_point)];
+      body << "    " << node_id(graph, t) << " [label=\""
+           << graph.task(t).name << "\\n" << dp.module_set << " ("
+           << trim_double(dp.area) << " CLB, " << trim_double(dp.latency_ns)
+           << " ns)\"];\n";
+    }
+    const std::string content = body.str();
+    if (content.empty()) continue;
+    os << "  subgraph cluster_p" << p << " {\n";
+    os << "    label=\"partition " << p << " (d="
+       << trim_double(design.partition_latency_ns.empty()
+                          ? 0.0
+                          : design.partition_latency_ns[static_cast<std::size_t>(p - 1)])
+       << " ns)\";\n";
+    os << content;
+    os << "  }\n";
+  }
+  write_edges(os, graph);
+  os << "}\n";
+}
+
+std::string to_dot_string(const graph::TaskGraph& graph) {
+  std::ostringstream os;
+  write_dot(os, graph);
+  return os.str();
+}
+
+std::string to_dot_string(const graph::TaskGraph& graph,
+                          const core::PartitionedDesign& design) {
+  std::ostringstream os;
+  write_dot(os, graph, design);
+  return os.str();
+}
+
+}  // namespace sparcs::io

@@ -1,0 +1,26 @@
+// Graphviz DOT export of task graphs and partitioned designs (partitions
+// rendered as clusters), used by the examples to reproduce Figures 5 and 6.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/solution.hpp"
+#include "graph/task_graph.hpp"
+
+namespace sparcs::io {
+
+/// Writes the task graph in DOT format (one node per task annotated with its
+/// design point count, one edge per data dependency with its volume).
+void write_dot(std::ostream& os, const graph::TaskGraph& graph);
+
+/// Writes the partitioned design in DOT format: tasks grouped into one
+/// cluster per temporal partition, annotated with the chosen design point.
+void write_dot(std::ostream& os, const graph::TaskGraph& graph,
+               const core::PartitionedDesign& design);
+
+std::string to_dot_string(const graph::TaskGraph& graph);
+std::string to_dot_string(const graph::TaskGraph& graph,
+                          const core::PartitionedDesign& design);
+
+}  // namespace sparcs::io

@@ -1,0 +1,171 @@
+#include "io/tg_format.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sparcs::io {
+namespace {
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+double parse_double(const std::string& token, int line_no) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  SPARCS_REQUIRE(end == token.c_str() + token.size(),
+                 str_format("line %d: expected a number, got '%s'", line_no,
+                            token.c_str()));
+  return value;
+}
+
+}  // namespace
+
+TaskGraphFile read_task_graph_string(const std::string& text) {
+  TaskGraphFile result;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  std::string graph_name = "imported";
+  // Points are attached after construction, so stage tasks first.
+  struct PendingTask {
+    std::string name;
+    double env_in = 0, env_out = 0;
+    std::vector<graph::DesignPoint> points;
+  };
+  std::vector<PendingTask> tasks;
+  struct PendingEdge {
+    std::string from, to;
+    double units;
+    int line;
+  };
+  std::vector<PendingEdge> edges;
+
+  auto find_task = [&](const std::string& name) -> PendingTask* {
+    for (PendingTask& t : tasks) {
+      if (t.name == name) return &t;
+    }
+    return nullptr;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = split_tokens(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+    if (directive == "graph") {
+      SPARCS_REQUIRE(tokens.size() == 2,
+                     str_format("line %d: graph <name>", line_no));
+      graph_name = tokens[1];
+    } else if (directive == "device") {
+      SPARCS_REQUIRE(tokens.size() == 5,
+                     str_format("line %d: device <name> <Rmax> <Mmax> <Ct>",
+                                line_no));
+      SPARCS_REQUIRE(!result.device.has_value(),
+                     str_format("line %d: duplicate device", line_no));
+      result.device = arch::custom(tokens[1], parse_double(tokens[2], line_no),
+                                   parse_double(tokens[3], line_no),
+                                   parse_double(tokens[4], line_no));
+    } else if (directive == "task") {
+      SPARCS_REQUIRE(tokens.size() >= 2 && tokens.size() <= 4,
+                     str_format("line %d: task <name> [env_in [env_out]]",
+                                line_no));
+      SPARCS_REQUIRE(find_task(tokens[1]) == nullptr,
+                     str_format("line %d: duplicate task '%s'", line_no,
+                                tokens[1].c_str()));
+      PendingTask task;
+      task.name = tokens[1];
+      if (tokens.size() >= 3) task.env_in = parse_double(tokens[2], line_no);
+      if (tokens.size() >= 4) task.env_out = parse_double(tokens[3], line_no);
+      tasks.push_back(std::move(task));
+    } else if (directive == "point") {
+      SPARCS_REQUIRE(
+          tokens.size() == 5,
+          str_format("line %d: point <task> <module_set> <area> <latency>",
+                     line_no));
+      PendingTask* task = find_task(tokens[1]);
+      SPARCS_REQUIRE(task != nullptr,
+                     str_format("line %d: unknown task '%s'", line_no,
+                                tokens[1].c_str()));
+      task->points.push_back(graph::DesignPoint{
+          tokens[2], parse_double(tokens[3], line_no),
+          parse_double(tokens[4], line_no)});
+    } else if (directive == "edge") {
+      SPARCS_REQUIRE(tokens.size() == 4,
+                     str_format("line %d: edge <from> <to> <units>", line_no));
+      edges.push_back(PendingEdge{tokens[1], tokens[2],
+                                  parse_double(tokens[3], line_no), line_no});
+    } else {
+      SPARCS_REQUIRE(false, str_format("line %d: unknown directive '%s'",
+                                       line_no, directive.c_str()));
+    }
+  }
+
+  result.graph = graph::TaskGraph(graph_name);
+  for (PendingTask& task : tasks) {
+    result.graph.add_task(task.name, std::move(task.points), task.env_in,
+                          task.env_out);
+  }
+  for (const PendingEdge& edge : edges) {
+    const graph::TaskId from = result.graph.find_task(edge.from);
+    const graph::TaskId to = result.graph.find_task(edge.to);
+    SPARCS_REQUIRE(from >= 0, str_format("line %d: unknown task '%s'",
+                                         edge.line, edge.from.c_str()));
+    SPARCS_REQUIRE(to >= 0, str_format("line %d: unknown task '%s'",
+                                       edge.line, edge.to.c_str()));
+    result.graph.add_edge(from, to, edge.units);
+  }
+  result.graph.validate();
+  return result;
+}
+
+TaskGraphFile read_task_graph(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return read_task_graph_string(buffer.str());
+}
+
+void write_task_graph(std::ostream& os, const graph::TaskGraph& graph,
+                      const arch::Device* device) {
+  os << "graph " << (graph.name().empty() ? "unnamed" : graph.name()) << "\n";
+  if (device != nullptr) {
+    os << "device " << device->name << " "
+       << trim_double(device->resource_capacity) << " "
+       << trim_double(device->memory_capacity) << " "
+       << trim_double(device->reconfig_time_ns) << "\n";
+  }
+  for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const graph::Task& task = graph.task(t);
+    os << "task " << task.name << " " << trim_double(task.env_in) << " "
+       << trim_double(task.env_out) << "\n";
+    for (const graph::DesignPoint& p : task.design_points) {
+      os << "point " << task.name << " " << p.module_set << " "
+         << trim_double(p.area) << " " << trim_double(p.latency_ns) << "\n";
+    }
+  }
+  for (const graph::DataEdge& e : graph.edges()) {
+    os << "edge " << graph.task(e.from).name << " " << graph.task(e.to).name
+       << " " << trim_double(e.data_units) << "\n";
+  }
+}
+
+std::string to_task_graph_string(const graph::TaskGraph& graph,
+                                 const arch::Device* device) {
+  std::ostringstream os;
+  write_task_graph(os, graph, device);
+  return os.str();
+}
+
+}  // namespace sparcs::io

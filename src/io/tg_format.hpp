@@ -1,0 +1,40 @@
+// Plain-text task graph exchange format, used by the command line driver.
+//
+// Line oriented; '#' starts a comment. Directives:
+//
+//   graph  <name>
+//   device <name> <Rmax> <Mmax> <Ct_ns>          (optional, at most one)
+//   task   <name> [env_in [env_out]]
+//   point  <task> <module_set> <area> <latency_ns>
+//   edge   <from> <to> <data_units>
+//
+// Tasks must be declared before their points and edges.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "arch/device.hpp"
+#include "graph/task_graph.hpp"
+
+namespace sparcs::io {
+
+/// Parse result: the graph plus the optional embedded device description.
+struct TaskGraphFile {
+  graph::TaskGraph graph;
+  std::optional<arch::Device> device;
+};
+
+/// Parses the format above. Throws InvalidArgumentError naming the offending
+/// line on malformed input.
+TaskGraphFile read_task_graph(std::istream& is);
+TaskGraphFile read_task_graph_string(const std::string& text);
+
+/// Writes a graph (and optionally a device) in the same format.
+void write_task_graph(std::ostream& os, const graph::TaskGraph& graph,
+                      const arch::Device* device = nullptr);
+std::string to_task_graph_string(const graph::TaskGraph& graph,
+                                 const arch::Device* device = nullptr);
+
+}  // namespace sparcs::io

@@ -1,0 +1,363 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "milp/checker.hpp"
+#include "milp/compiled.hpp"
+#include "milp/propagation.hpp"
+#include "milp/simplex.hpp"
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sparcs::milp {
+namespace {
+
+/// One open decision in the DFS stack.
+struct Frame {
+  VarId var = -1;
+  /// Branches as [lb, ub] boxes to impose on `var`, tried in order.
+  std::vector<std::pair<double, double>> branches;
+  std::size_t next = 0;
+  std::size_t trail_mark = 0;
+};
+
+class BnbSearch {
+ public:
+  BnbSearch(const Model& model, const SolverParams& params)
+      : params_(params),
+        compiled_(model, /*with_objective_cutoff=*/model.has_objective()),
+        domains_(compiled_),
+        propagator_(compiled_, params.feasibility_tol,
+                    params.max_propagation_rounds),
+        model_(model) {}
+
+  MilpSolution run();
+
+ private:
+  /// First unfixed integral variable in branch-priority order, or -1.
+  VarId pick_branch_var() const;
+  std::vector<std::pair<double, double>> make_branches(VarId v) const;
+  /// Completes continuous variables by LP. Returns true when a feasible
+  /// completion exists and fills `candidate`; `unbounded` reports an
+  /// unbounded continuous objective.
+  bool complete_continuous(std::vector<double>& candidate, bool* unbounded);
+  /// LP-relaxation feasibility probe under the current domains.
+  bool lp_prune();
+  /// Handles a fully integral node. Returns true when the search must stop.
+  bool handle_leaf(MilpSolution& result);
+  void record_incumbent(std::vector<double> values, MilpSolution& result);
+  bool limits_hit() const;
+
+  const SolverParams& params_;
+  CompiledModel compiled_;
+  Domains domains_;
+  Propagator propagator_;
+  const Model& model_;
+  Stopwatch stopwatch_;
+  PropagationStats prop_stats_;
+  std::vector<Frame> stack_;
+  std::vector<double> incumbent_;
+  double incumbent_obj_ = kInfinity;
+  bool have_incumbent_ = false;
+  std::int64_t nodes_ = 0;
+  bool stop_ = false;
+};
+
+VarId BnbSearch::pick_branch_var() const {
+  for (const VarId v : compiled_.branch_order()) {
+    if (domains_.ub(v) - domains_.lb(v) >= 0.5) return v;
+  }
+  return -1;
+}
+
+std::vector<std::pair<double, double>> BnbSearch::make_branches(VarId v) const {
+  const double lo = domains_.lb(v);
+  const double hi = domains_.ub(v);
+  std::vector<std::pair<double, double>> branches;
+  const double span = hi - lo;
+  if (span <= 8.5) {
+    // Enumerate values, branch hint first, then from the top down (for the
+    // 0/1 assignment variables of the partitioning model "try 1 first"
+    // makes the DFS behave like a greedy constructor).
+    double hint = compiled_.branch_hint(v);
+    std::vector<double> values;
+    if (std::isfinite(hint)) {
+      hint = std::round(hint);
+      if (hint >= lo && hint <= hi) values.push_back(hint);
+    }
+    for (double x = hi; x >= lo - 0.5; x -= 1.0) {
+      if (values.empty() || std::round(x) != values.front()) {
+        values.push_back(std::round(x));
+      }
+    }
+    branches.reserve(values.size());
+    for (const double x : values) branches.emplace_back(x, x);
+  } else {
+    const double mid = std::floor((lo + hi) / 2.0);
+    branches.emplace_back(lo, mid);
+    branches.emplace_back(mid + 1.0, hi);
+  }
+  return branches;
+}
+
+bool BnbSearch::complete_continuous(std::vector<double>& candidate,
+                                    bool* unbounded) {
+  *unbounded = false;
+  const int n = compiled_.num_vars();
+  std::vector<int> cont_index(static_cast<std::size_t>(n), -1);
+  LpProblem lp;
+  for (VarId v = 0; v < n; ++v) {
+    if (!compiled_.is_integral(v)) {
+      cont_index[static_cast<std::size_t>(v)] =
+          lp.add_var(0.0, domains_.lb(v), domains_.ub(v));
+    }
+  }
+
+  candidate.assign(static_cast<std::size_t>(n), 0.0);
+  for (VarId v = 0; v < n; ++v) {
+    if (compiled_.is_integral(v)) {
+      candidate[static_cast<std::size_t>(v)] = domains_.lb(v);
+    }
+  }
+
+  if (lp.num_vars() == 0) return true;  // nothing to complete
+
+  for (const LinTerm& t : compiled_.objective_terms()) {
+    const int j = cont_index[static_cast<std::size_t>(t.var)];
+    if (j >= 0) lp.obj[static_cast<std::size_t>(j)] += t.coef;
+  }
+  for (int c = 0; c < compiled_.num_constraints(); ++c) {
+    const CompiledConstraint& cc = compiled_.constraint(c);
+    if (!std::isfinite(cc.rhs)) continue;  // inactive cutoff
+    const double* coefs = compiled_.coefs(cc);
+    const VarId* vars = compiled_.vars(cc);
+    std::vector<LinTerm> terms;
+    double rhs = cc.rhs;
+    // Activity range of the row over the current continuous domains; rows
+    // satisfied for every point of the box are redundant here (propagation
+    // has typically tightened the bounds enough to prune almost all rows,
+    // which keeps the completion LP small on large models).
+    double min_act = 0.0, max_act = 0.0;
+    for (int k = 0; k < compiled_.size(cc); ++k) {
+      const VarId v = vars[k];
+      const int j = cont_index[static_cast<std::size_t>(v)];
+      if (j >= 0) {
+        const double a = coefs[k];
+        terms.push_back({j, a});
+        min_act += a * (a > 0.0 ? domains_.lb(v) : domains_.ub(v));
+        max_act += a * (a > 0.0 ? domains_.ub(v) : domains_.lb(v));
+      } else {
+        rhs -= coefs[k] * candidate[static_cast<std::size_t>(vars[k])];
+      }
+    }
+    if (terms.empty()) continue;
+    const double tol = params_.feasibility_tol;
+    bool redundant = false;
+    switch (cc.sense) {
+      case Sense::kLessEqual:
+        redundant = max_act <= rhs + tol;
+        break;
+      case Sense::kGreaterEqual:
+        redundant = min_act >= rhs - tol;
+        break;
+      case Sense::kEqual:
+        redundant = max_act <= rhs + tol && min_act >= rhs - tol;
+        break;
+    }
+    if (!redundant) lp.add_row(std::move(terms), cc.sense, rhs);
+  }
+
+  const LpResult lp_result = solve_lp(lp);
+  switch (lp_result.status) {
+    case LpStatus::kOptimal:
+      break;
+    case LpStatus::kInfeasible:
+      return false;
+    case LpStatus::kUnbounded:
+      *unbounded = true;
+      return false;
+    case LpStatus::kIterationLimit:
+      return false;  // treat conservatively as no completion found
+  }
+  for (VarId v = 0; v < n; ++v) {
+    const int j = cont_index[static_cast<std::size_t>(v)];
+    if (j >= 0) {
+      candidate[static_cast<std::size_t>(v)] =
+          lp_result.x[static_cast<std::size_t>(j)];
+    }
+  }
+  return true;
+}
+
+bool BnbSearch::lp_prune() {
+  LpProblem lp;
+  const int n = compiled_.num_vars();
+  for (VarId v = 0; v < n; ++v) {
+    lp.add_var(0.0, domains_.lb(v), domains_.ub(v));
+  }
+  for (int c = 0; c < compiled_.num_constraints(); ++c) {
+    const CompiledConstraint& cc = compiled_.constraint(c);
+    if (!std::isfinite(cc.rhs)) continue;
+    const double* coefs = compiled_.coefs(cc);
+    const VarId* vars = compiled_.vars(cc);
+    std::vector<LinTerm> terms;
+    terms.reserve(static_cast<std::size_t>(compiled_.size(cc)));
+    for (int k = 0; k < compiled_.size(cc); ++k) {
+      terms.push_back({vars[k], coefs[k]});
+    }
+    lp.add_row(std::move(terms), cc.sense, cc.rhs);
+  }
+  const LpResult lp_result = solve_lp(lp);
+  return lp_result.status != LpStatus::kInfeasible;  // true = keep node
+}
+
+void BnbSearch::record_incumbent(std::vector<double> values,
+                                 MilpSolution& result) {
+  double obj = 0.0;
+  for (const LinTerm& t : compiled_.objective_terms()) {
+    obj += t.coef * values[static_cast<std::size_t>(t.var)];
+  }
+  if (have_incumbent_ && obj >= incumbent_obj_) return;
+  incumbent_ = std::move(values);
+  incumbent_obj_ = obj;
+  have_incumbent_ = true;
+  if (compiled_.has_cutoff_row()) {
+    compiled_.set_cutoff(incumbent_obj_ - params_.objective_improvement);
+  }
+  SPARCS_DLOG << "incumbent objective " << incumbent_obj_ << " at node "
+              << nodes_;
+  if (params_.stop_at_first_feasible || compiled_.objective_terms().empty()) {
+    result.status = compiled_.objective_terms().empty() && !params_.stop_at_first_feasible
+                        ? SolveStatus::kOptimal
+                        : SolveStatus::kFeasible;
+    stop_ = true;
+  }
+}
+
+bool BnbSearch::limits_hit() const {
+  return nodes_ >= params_.node_limit ||
+         stopwatch_.seconds() >= params_.time_limit_sec;
+}
+
+bool BnbSearch::handle_leaf(MilpSolution& result) {
+  std::vector<double> candidate;
+  bool unbounded = false;
+  if (complete_continuous(candidate, &unbounded)) {
+    // Exact final check guards against tolerance drift across propagation.
+    if (check_solution(model_, candidate, 1e2 * params_.feasibility_tol)
+            .ok) {
+      record_incumbent(std::move(candidate), result);
+    }
+  } else if (unbounded && !have_incumbent_) {
+    result.status = SolveStatus::kUnbounded;
+    stop_ = true;
+    return true;
+  }
+  return stop_;
+}
+
+MilpSolution BnbSearch::run() {
+  MilpSolution result;
+
+  // Root propagation doubles as presolve.
+  if (!propagator_.propagate(domains_, {}, prop_stats_)) {
+    result.status = SolveStatus::kInfeasible;
+    result.seconds = stopwatch_.seconds();
+    return result;
+  }
+
+  const bool lp_bounding =
+      params_.use_lp_bounding &&
+      compiled_.num_vars() <= params_.lp_bounding_max_vars;
+
+  // DFS over decision frames. `descend` signals that the current domains may
+  // hold new work (fresh node); false means resume the top frame.
+  bool descend = true;
+  while (!stop_) {
+    if (limits_hit()) break;
+    if (descend) {
+      ++nodes_;
+      if (params_.log_every_nodes > 0 &&
+          nodes_ % params_.log_every_nodes == 0) {
+        SPARCS_ILOG << "nodes=" << nodes_ << " depth=" << stack_.size()
+                    << " incumbent="
+                    << (have_incumbent_ ? incumbent_obj_ : kInfinity);
+      }
+      const VarId v = pick_branch_var();
+      if (v < 0) {
+        if (handle_leaf(result)) break;
+        descend = false;  // backtrack to explore alternatives
+        continue;
+      }
+      if (lp_bounding && !lp_prune()) {
+        descend = false;
+        continue;
+      }
+      Frame frame;
+      frame.var = v;
+      frame.branches = make_branches(v);
+      frame.trail_mark = domains_.checkpoint();
+      stack_.push_back(std::move(frame));
+    }
+
+    // Try the next branch of the top frame; pop exhausted frames.
+    if (stack_.empty()) break;
+    Frame& top = stack_.back();
+    domains_.rollback(top.trail_mark);
+    if (top.next >= top.branches.size()) {
+      stack_.pop_back();
+      descend = false;
+      continue;
+    }
+    const auto [blo, bhi] = top.branches[top.next++];
+    const VarId v = top.var;
+    bool ok = true;
+    if (blo > domains_.lb(v)) ok = ok && (domains_.set_lb(v, blo), true);
+    if (bhi < domains_.ub(v)) ok = ok && (domains_.set_ub(v, bhi), true);
+    if (domains_.lb(v) > domains_.ub(v)) ok = false;
+    if (ok) {
+      ok = propagator_.propagate(domains_, {v}, prop_stats_);
+    }
+    if (!ok) {
+      // Conflict: stay on this frame and try its next branch.
+      descend = false;
+      continue;
+    }
+    descend = true;
+  }
+
+  result.nodes_explored = nodes_;
+  result.propagations = prop_stats_.constraints_processed;
+  result.seconds = stopwatch_.seconds();
+  if (stop_ && have_incumbent_) {
+    // Early stop after recording a solution (first-feasible or pure
+    // feasibility mode); status was set in record_incumbent.
+  } else if (have_incumbent_) {
+    result.status =
+        limits_hit() ? SolveStatus::kFeasible : SolveStatus::kOptimal;
+  } else if (result.status == SolveStatus::kUnbounded) {
+    // keep
+  } else {
+    result.status =
+        limits_hit() ? SolveStatus::kLimitReached : SolveStatus::kInfeasible;
+  }
+  if (have_incumbent_) {
+    result.values = incumbent_;
+    result.objective =
+        compiled_.objective_flipped() ? -incumbent_obj_ : incumbent_obj_;
+  }
+  return result;
+}
+
+}  // namespace
+
+MilpSolution solve_branch_and_bound(const Model& model,
+                                    const SolverParams& params) {
+  BnbSearch search(model, params);
+  return search.run();
+}
+
+}  // namespace sparcs::milp

@@ -1,0 +1,22 @@
+// Depth-first branch & bound over propagated domains.
+//
+// Search skeleton: propagate to a fixpoint; if a conflict arises backtrack;
+// if integral variables remain, branch on the highest-priority one (value
+// enumeration for small domains, interval bisection for large ones, the
+// model's branch hint tried first); once every integral variable is fixed,
+// the remaining continuous variables are completed exactly with a small LP.
+// Optimality is enforced through a dynamic objective-cutoff row, so the same
+// machinery serves both the paper's constraint-satisfaction mode
+// (stop_at_first_feasible) and the optimal reference runs.
+#pragma once
+
+#include "milp/model.hpp"
+#include "milp/types.hpp"
+
+namespace sparcs::milp {
+
+/// Solves `model` with propagation-based depth-first branch & bound.
+MilpSolution solve_branch_and_bound(const Model& model,
+                                    const SolverParams& params);
+
+}  // namespace sparcs::milp

@@ -1,0 +1,69 @@
+#include "milp/checker.hpp"
+
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace sparcs::milp {
+
+CheckResult check_solution(const Model& model,
+                           const std::vector<double>& values,
+                           double tolerance) {
+  CheckResult result;
+  if (static_cast<int>(values.size()) != model.num_vars()) {
+    result.ok = false;
+    result.violation = str_format(
+        "assignment has %zu values for %d variables", values.size(),
+        model.num_vars());
+    return result;
+  }
+  for (VarId v = 0; v < model.num_vars(); ++v) {
+    const VarInfo& info = model.var(v);
+    const double x = values[static_cast<std::size_t>(v)];
+    if (x < info.lb - tolerance || x > info.ub + tolerance) {
+      result.ok = false;
+      result.violation =
+          str_format("variable %s = %g outside [%g, %g]", info.name.c_str(),
+                     x, info.lb, info.ub);
+      return result;
+    }
+    if (info.type != VarType::kContinuous &&
+        std::abs(x - std::round(x)) > tolerance) {
+      result.ok = false;
+      result.violation = str_format("variable %s = %g is not integral",
+                                    info.name.c_str(), x);
+      return result;
+    }
+  }
+  for (ConstraintId c = 0; c < model.num_constraints(); ++c) {
+    const ConstraintInfo& info = model.constraint(c);
+    double lhs = 0.0;
+    for (const LinTerm& t : info.terms) {
+      lhs += t.coef * values[static_cast<std::size_t>(t.var)];
+    }
+    const double slack = tolerance * std::max(1.0, std::abs(info.rhs));
+    const bool le_ok = lhs <= info.rhs + slack;
+    const bool ge_ok = lhs >= info.rhs - slack;
+    bool violated = false;
+    switch (info.sense) {
+      case Sense::kLessEqual:
+        violated = !le_ok;
+        break;
+      case Sense::kGreaterEqual:
+        violated = !ge_ok;
+        break;
+      case Sense::kEqual:
+        violated = !(le_ok && ge_ok);
+        break;
+    }
+    if (violated) {
+      result.ok = false;
+      result.violation = str_format("constraint %s violated: lhs=%g rhs=%g",
+                                    info.name.c_str(), lhs, info.rhs);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace sparcs::milp

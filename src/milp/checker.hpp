@@ -1,0 +1,25 @@
+// Independent solution checker: verifies a candidate assignment against a
+// Model without using any solver state. Used as the final acceptance gate in
+// branch & bound and by the test suites to cross-validate solutions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace sparcs::milp {
+
+/// Outcome of checking an assignment against a model.
+struct CheckResult {
+  bool ok = true;
+  /// Human-readable description of the first violation found (empty if ok).
+  std::string violation;
+};
+
+/// Verifies bounds, integrality, and every constraint within `tolerance`.
+/// Violations of magnitude up to `tolerance * max(1, |rhs|)` are accepted.
+CheckResult check_solution(const Model& model, const std::vector<double>& values,
+                           double tolerance = 1e-6);
+
+}  // namespace sparcs::milp

@@ -1,0 +1,82 @@
+#include "milp/compiled.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace sparcs::milp {
+
+CompiledModel::CompiledModel(const Model& model, bool with_objective_cutoff) {
+  model.validate();
+  const int n = model.num_vars();
+  types_.reserve(static_cast<std::size_t>(n));
+  lb_.reserve(static_cast<std::size_t>(n));
+  ub_.reserve(static_cast<std::size_t>(n));
+  hints_.reserve(static_cast<std::size_t>(n));
+  for (const VarInfo& v : model.vars()) {
+    types_.push_back(v.type);
+    double lo = v.lb, hi = v.ub;
+    if (v.type != VarType::kContinuous) {
+      lo = std::ceil(lo - 1e-9);
+      hi = std::floor(hi + 1e-9);
+    }
+    lb_.push_back(lo);
+    ub_.push_back(hi);
+    hints_.push_back(v.branch_hint);
+  }
+
+  auto append_row = [&](const std::vector<LinTerm>& terms, Sense sense,
+                        double rhs) {
+    CompiledConstraint cc;
+    cc.begin = static_cast<std::int32_t>(var_.size());
+    for (const LinTerm& t : terms) {
+      if (t.coef == 0.0) continue;
+      var_.push_back(t.var);
+      coef_.push_back(t.coef);
+    }
+    cc.end = static_cast<std::int32_t>(var_.size());
+    cc.sense = sense;
+    cc.rhs = rhs;
+    constraints_.push_back(cc);
+  };
+
+  for (const ConstraintInfo& c : model.constraints()) {
+    append_row(c.terms, c.sense, c.rhs);
+  }
+
+  // Sign-normalize the objective to minimization.
+  obj_flipped_ = model.has_objective() && !model.minimize();
+  if (model.has_objective()) {
+    const double sign = obj_flipped_ ? -1.0 : 1.0;
+    for (const LinTerm& t : model.objective().terms()) {
+      if (t.coef != 0.0) obj_terms_.push_back({t.var, sign * t.coef});
+    }
+  }
+
+  if (with_objective_cutoff && !obj_terms_.empty()) {
+    cutoff_row_ = static_cast<int>(constraints_.size());
+    append_row(obj_terms_, Sense::kLessEqual, kInfinity);
+  }
+
+  vadj_.assign(static_cast<std::size_t>(n), {});
+  for (int c = 0; c < num_constraints(); ++c) {
+    const CompiledConstraint& cc = constraints_[static_cast<std::size_t>(c)];
+    for (std::int32_t k = cc.begin; k < cc.end; ++k) {
+      vadj_[static_cast<std::size_t>(var_[static_cast<std::size_t>(k)])]
+          .push_back(c);
+    }
+  }
+
+  branch_order_.reserve(static_cast<std::size_t>(n));
+  for (VarId v = 0; v < n; ++v) {
+    if (is_integral(v)) branch_order_.push_back(v);
+  }
+  std::stable_sort(branch_order_.begin(), branch_order_.end(),
+                   [&](VarId a, VarId b) {
+                     return model.var(a).branch_priority >
+                            model.var(b).branch_priority;
+                   });
+}
+
+}  // namespace sparcs::milp

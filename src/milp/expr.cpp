@@ -1,0 +1,139 @@
+#include "milp/expr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sparcs::milp {
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  constant_ += other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& other) {
+  for (const LinTerm& term : other.terms_) {
+    terms_.push_back({term.var, -term.coef});
+  }
+  constant_ -= other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double factor) {
+  for (LinTerm& term : terms_) term.coef *= factor;
+  constant_ *= factor;
+  return *this;
+}
+
+void LinExpr::add_term(VarId var, double coef) {
+  SPARCS_REQUIRE(var >= 0, "add_term requires a valid variable id");
+  terms_.push_back({var, coef});
+}
+
+void LinExpr::normalize(double drop_tol) {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const LinTerm& a, const LinTerm& b) { return a.var < b.var; });
+  std::vector<LinTerm> merged;
+  merged.reserve(terms_.size());
+  for (const LinTerm& term : terms_) {
+    if (!merged.empty() && merged.back().var == term.var) {
+      merged.back().coef += term.coef;
+    } else {
+      merged.push_back(term);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [&](const LinTerm& t) {
+                                return std::abs(t.coef) <= drop_tol;
+                              }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+double LinExpr::evaluate(const std::vector<double>& values) const {
+  double total = constant_;
+  for (const LinTerm& term : terms_) {
+    SPARCS_REQUIRE(term.var >= 0 &&
+                       static_cast<std::size_t>(term.var) < values.size(),
+                   "assignment does not cover all variables");
+    total += term.coef * values[static_cast<std::size_t>(term.var)];
+  }
+  return total;
+}
+
+std::string LinExpr::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const LinTerm& term : terms_) {
+    const double coef = term.coef;
+    if (first) {
+      if (coef < 0) os << "- ";
+      first = false;
+    } else {
+      os << (coef < 0 ? " - " : " + ");
+    }
+    const double mag = std::abs(coef);
+    if (mag != 1.0) os << trim_double(mag) << " ";
+    os << "x" << term.var;
+  }
+  if (constant_ != 0.0 || first) {
+    if (!first) os << (constant_ < 0 ? " - " : " + ");
+    os << trim_double(first ? constant_ : std::abs(constant_));
+  }
+  return os.str();
+}
+
+LinExpr operator+(LinExpr lhs, const LinExpr& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+LinExpr operator-(LinExpr lhs, const LinExpr& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+LinExpr operator*(double factor, LinExpr expr) {
+  expr *= factor;
+  return expr;
+}
+
+LinExpr operator*(LinExpr expr, double factor) {
+  expr *= factor;
+  return expr;
+}
+
+LinExpr operator-(LinExpr expr) {
+  expr *= -1.0;
+  return expr;
+}
+
+namespace {
+
+Relation make_relation(LinExpr lhs, const LinExpr& rhs, Sense sense) {
+  lhs -= rhs;
+  const double constant = lhs.constant();
+  LinExpr normalized = lhs - LinExpr(constant);
+  normalized.normalize();
+  return Relation{std::move(normalized), sense, -constant};
+}
+
+}  // namespace
+
+Relation operator<=(LinExpr lhs, const LinExpr& rhs) {
+  return make_relation(std::move(lhs), rhs, Sense::kLessEqual);
+}
+
+Relation operator>=(LinExpr lhs, const LinExpr& rhs) {
+  return make_relation(std::move(lhs), rhs, Sense::kGreaterEqual);
+}
+
+Relation operator==(LinExpr lhs, const LinExpr& rhs) {
+  return make_relation(std::move(lhs), rhs, Sense::kEqual);
+}
+
+}  // namespace sparcs::milp

@@ -1,0 +1,77 @@
+// Linear expressions over MILP variables, with value-semantics operators so
+// formulations read like the paper's equations:
+//
+//   LinExpr lhs;
+//   lhs += D(m) * y(p, t, m);
+//   model.add_constraint(lhs <= d_p, "latency_p3_path7");
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "milp/types.hpp"
+
+namespace sparcs::milp {
+
+/// One coefficient * variable term.
+struct LinTerm {
+  VarId var = -1;
+  double coef = 0.0;
+};
+
+/// A linear expression: sum of terms plus a constant offset.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /// Implicit conversions let constants and bare variables appear in
+  /// constraint expressions, mirroring algebraic notation.
+  LinExpr(double constant) : constant_(constant) {}          // NOLINT
+  LinExpr(VarId var) { terms_.push_back({var, 1.0}); }       // NOLINT
+  LinExpr(VarId var, double coef) { terms_.push_back({var, coef}); }
+
+  [[nodiscard]] const std::vector<LinTerm>& terms() const { return terms_; }
+  [[nodiscard]] double constant() const { return constant_; }
+
+  LinExpr& operator+=(const LinExpr& other);
+  LinExpr& operator-=(const LinExpr& other);
+  LinExpr& operator*=(double factor);
+
+  /// Adds `coef * var` to the expression.
+  void add_term(VarId var, double coef);
+  /// Adds a constant offset.
+  void add_constant(double value) { constant_ += value; }
+
+  /// Merges duplicate variables and drops (near-)zero coefficients.
+  /// Terms end up sorted by variable id.
+  void normalize(double drop_tol = 0.0);
+
+  /// Evaluates the expression under the given assignment.
+  [[nodiscard]] double evaluate(const std::vector<double>& values) const;
+
+  /// Renders e.g. "3 x2 - 1.5 x7 + 4" for debugging.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<LinTerm> terms_;
+  double constant_ = 0.0;
+};
+
+LinExpr operator+(LinExpr lhs, const LinExpr& rhs);
+LinExpr operator-(LinExpr lhs, const LinExpr& rhs);
+LinExpr operator*(double factor, LinExpr expr);
+LinExpr operator*(LinExpr expr, double factor);
+LinExpr operator-(LinExpr expr);
+
+/// A constraint-in-flight produced by comparison operators; consumed by
+/// Model::add_constraint.
+struct Relation {
+  LinExpr lhs;  ///< normalized so the rhs is a bare constant
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+};
+
+Relation operator<=(LinExpr lhs, const LinExpr& rhs);
+Relation operator>=(LinExpr lhs, const LinExpr& rhs);
+Relation operator==(LinExpr lhs, const LinExpr& rhs);
+
+}  // namespace sparcs::milp

@@ -1,0 +1,438 @@
+#include "milp/lp_reader.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sparcs::milp {
+namespace {
+
+enum class Section {
+  kNone,
+  kObjective,
+  kConstraints,
+  kBounds,
+  kGeneral,
+  kBinary,
+  kEnd,
+};
+
+/// Tokenizer over the LP text: names, numbers, operators.
+class Lexer {
+ public:
+  explicit Lexer(std::string text) : text_(std::move(text)) {}
+
+  /// Next token, or empty at end. Skips whitespace and \ comments.
+  std::string next() {
+    skip_ws();
+    if (pos_ >= text_.size()) return {};
+    const char c = text_[pos_];
+    if (c == '+' || c == '-' || c == ':') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    if (c == '<' || c == '>' || c == '=') {
+      std::string op(1, c);
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '=') {
+        op += '=';
+        ++pos_;
+      }
+      return op;
+    }
+    std::string token;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '+' && text_[pos_] != '-' && text_[pos_] != ':' &&
+           text_[pos_] != '<' && text_[pos_] != '>' && text_[pos_] != '=') {
+      token += text_[pos_++];
+    }
+    return token;
+  }
+
+  [[nodiscard]] std::string peek() {
+    const std::size_t saved = pos_;
+    std::string token = next();
+    pos_ = saved;
+    return token;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_number(const std::string& token) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+bool iequals(const std::string& a, const char* b) {
+  std::string lower = a;
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return lower == b;
+}
+
+/// Section keyword lookup ("subject" consumes the following "to").
+Section section_of(const std::string& token, Lexer& lexer, bool* maximize) {
+  if (iequals(token, "minimize") || iequals(token, "min")) {
+    *maximize = false;
+    return Section::kObjective;
+  }
+  if (iequals(token, "maximize") || iequals(token, "max")) {
+    *maximize = true;
+    return Section::kObjective;
+  }
+  if (iequals(token, "subject")) {
+    const std::string to = lexer.next();
+    SPARCS_REQUIRE(iequals(to, "to"), "expected 'To' after 'Subject'");
+    return Section::kConstraints;
+  }
+  if (iequals(token, "st") || iequals(token, "s.t.")) {
+    return Section::kConstraints;
+  }
+  if (iequals(token, "bounds")) return Section::kBounds;
+  if (iequals(token, "general") || iequals(token, "generals") ||
+      iequals(token, "gen")) {
+    return Section::kGeneral;
+  }
+  if (iequals(token, "binary") || iequals(token, "binaries") ||
+      iequals(token, "bin")) {
+    return Section::kBinary;
+  }
+  if (iequals(token, "end")) return Section::kEnd;
+  return Section::kNone;
+}
+
+}  // namespace
+
+Model read_lp_string(const std::string& text) {
+  Lexer lexer(text);
+
+  struct PendingVar {
+    double lb = 0.0;  // LP format default: x >= 0
+    double ub = kInfinity;
+    VarType type = VarType::kContinuous;
+  };
+  std::vector<std::string> var_names;
+  std::map<std::string, int> var_index;
+  std::vector<PendingVar> pending;
+  auto intern = [&](const std::string& name) {
+    const auto it = var_index.find(name);
+    if (it != var_index.end()) return it->second;
+    const int id = static_cast<int>(var_names.size());
+    var_index[name] = id;
+    var_names.push_back(name);
+    pending.push_back({});
+    return id;
+  };
+
+  struct PendingRow {
+    std::string name;
+    std::vector<std::pair<int, double>> terms;
+    Sense sense = Sense::kLessEqual;
+    double rhs = 0.0;
+  };
+  std::vector<std::pair<int, double>> objective;
+  bool maximize = false;
+  std::vector<PendingRow> rows;
+
+  // Parses "[label:] {(+|-) [coef] var}* sense rhs"; for the objective no
+  // sense/rhs. Returns when a section keyword or EOF is met.
+  auto parse_expressions = [&](bool is_objective, Section* next_section) {
+    while (true) {
+      std::string token = lexer.peek();
+      if (token.empty()) {
+        *next_section = Section::kEnd;
+        return;
+      }
+      bool dummy = false;
+      Lexer probe_lexer("");  // section_of may consume "to"; re-probe below
+      (void)probe_lexer;
+      if (!is_number(token) && token != "+" && token != "-") {
+        // Candidate section keyword or a label/variable.
+        const std::string lowered = token;
+        Lexer saved = lexer;  // copy for rollback
+        std::string consumed = lexer.next();
+        const Section section = section_of(consumed, lexer, &dummy);
+        if (section != Section::kNone) {
+          *next_section = section;
+          return;
+        }
+        lexer = saved;  // plain name: fall through to expression parsing
+      }
+
+      // Optional label "name:".
+      PendingRow row;
+      {
+        Lexer saved = lexer;
+        const std::string maybe_label = lexer.next();
+        if (!maybe_label.empty() && lexer.peek() == ":") {
+          lexer.next();  // consume ':'
+          row.name = maybe_label;
+        } else {
+          lexer = saved;
+        }
+      }
+
+      // Terms until a sense operator (constraints) or next label/section
+      // (objective).
+      auto& terms = is_objective ? objective : row.terms;
+      double sign = 1.0;
+      bool have_pending_coef = false;
+      double pending_coef = 1.0;
+      while (true) {
+        const std::string t = lexer.peek();
+        if (t.empty()) break;
+        if (t == "+" || t == "-") {
+          lexer.next();
+          sign *= (t == "-") ? -1.0 : 1.0;
+          // consecutive signs accumulate; reset pending coefficient state
+          continue;
+        }
+        if (t == "<=" || t == ">=" || t == "=" || t == "<" || t == ">") {
+          SPARCS_REQUIRE(!is_objective, "unexpected relation in objective");
+          lexer.next();
+          row.sense = (t == "<=" || t == "<")   ? Sense::kLessEqual
+                      : (t == ">=" || t == ">") ? Sense::kGreaterEqual
+                                                : Sense::kEqual;
+          const std::string rhs_token = lexer.next();
+          SPARCS_REQUIRE(is_number(rhs_token),
+                         "expected numeric rhs, got '" + rhs_token + "'");
+          row.rhs = std::strtod(rhs_token.c_str(), nullptr);
+          rows.push_back(std::move(row));
+          break;
+        }
+        if (is_number(t)) {
+          lexer.next();
+          pending_coef = std::strtod(t.c_str(), nullptr);
+          have_pending_coef = true;
+          continue;
+        }
+        // A name: either a variable of this expression, or (objective only)
+        // the label of the first constraint / a section keyword — those are
+        // handled by the outer loop, so a bare name here is a variable
+        // unless we are in the objective and the following token is ':'.
+        if (is_objective) {
+          Lexer saved = lexer;
+          const std::string name = lexer.next();
+          bool dummy2 = false;
+          Lexer saved2 = lexer;
+          const Section section = section_of(name, lexer, &dummy2);
+          if (section != Section::kNone) {
+            lexer = saved2;
+            // rewind so the outer loop re-reads the keyword
+            lexer = saved;
+            break;
+          }
+          if (lexer.peek() == ":") {
+            lexer = saved;  // next constraint's label
+            break;
+          }
+          terms.emplace_back(intern(name),
+                             sign * (have_pending_coef ? pending_coef : 1.0));
+          sign = 1.0;
+          have_pending_coef = false;
+          continue;
+        }
+        const std::string name = lexer.next();
+        terms.emplace_back(intern(name),
+                           sign * (have_pending_coef ? pending_coef : 1.0));
+        sign = 1.0;
+        have_pending_coef = false;
+      }
+      if (is_objective) {
+        // Objective has exactly one expression; decide what follows.
+        const std::string t = lexer.peek();
+        if (t.empty()) {
+          *next_section = Section::kEnd;
+          return;
+        }
+        bool dummy3 = false;
+        Lexer saved = lexer;
+        const std::string consumed = lexer.next();
+        const Section section = section_of(consumed, lexer, &dummy3);
+        SPARCS_REQUIRE(section != Section::kNone,
+                       "unexpected token after objective: " + consumed);
+        *next_section = section;
+        return;
+      }
+    }
+  };
+
+  // ---- main driver ----
+  Section section = Section::kNone;
+  {
+    const std::string first = lexer.next();
+    SPARCS_REQUIRE(!first.empty(), "empty LP text");
+    section = section_of(first, lexer, &maximize);
+    SPARCS_REQUIRE(section == Section::kObjective,
+                   "LP must start with Minimize/Maximize, got '" + first + "'");
+  }
+  // Optional objective label.
+  {
+    Lexer saved = lexer;
+    const std::string maybe = lexer.next();
+    if (lexer.peek() == ":") {
+      lexer.next();
+    } else {
+      lexer = saved;
+    }
+  }
+  Section next = Section::kEnd;
+  parse_expressions(/*is_objective=*/true, &next);
+  section = next;
+  while (section == Section::kConstraints) {
+    parse_expressions(/*is_objective=*/false, &next);
+    section = next;
+  }
+  while (section != Section::kEnd) {
+    if (section == Section::kBounds) {
+      // Forms: "lb <= x <= ub", "x <= ub", "x >= lb", "x free", "-inf <= x".
+      while (true) {
+        Lexer saved = lexer;
+        std::string t = lexer.next();
+        if (t.empty()) {
+          section = Section::kEnd;
+          break;
+        }
+        bool dummy = false;
+        {
+          Lexer saved2 = lexer;
+          const Section s = section_of(t, lexer, &dummy);
+          if (s != Section::kNone) {
+            section = s;
+            break;
+          }
+          lexer = saved2;
+        }
+        double lb = -kInfinity;
+        bool have_lb = false;
+        if (is_number(t) || t == "-") {
+          double sign = 1.0;
+          if (t == "-") {
+            const std::string n = lexer.next();
+            if (iequals(n, "inf") || iequals(n, "infinity")) {
+              lb = -kInfinity;
+            } else {
+              SPARCS_REQUIRE(is_number(n), "bad bound token: " + n);
+              lb = -std::strtod(n.c_str(), nullptr);
+            }
+            (void)sign;
+          } else {
+            lb = std::strtod(t.c_str(), nullptr);
+          }
+          have_lb = true;
+          const std::string le = lexer.next();
+          SPARCS_REQUIRE(le == "<=" || le == "<",
+                         "expected <= after bound value");
+          t = lexer.next();
+        }
+        SPARCS_REQUIRE(!t.empty() && !is_number(t), "expected variable name");
+        const int var = intern(t);
+        if (have_lb) pending[static_cast<std::size_t>(var)].lb = lb;
+        const std::string op = lexer.peek();
+        if (op == "<=" || op == "<") {
+          lexer.next();
+          const std::string ub_token = lexer.next();
+          SPARCS_REQUIRE(is_number(ub_token), "bad upper bound");
+          pending[static_cast<std::size_t>(var)].ub =
+              std::strtod(ub_token.c_str(), nullptr);
+        } else if (op == ">=" || op == ">") {
+          lexer.next();
+          const std::string lb_token = lexer.next();
+          SPARCS_REQUIRE(is_number(lb_token), "bad lower bound");
+          pending[static_cast<std::size_t>(var)].lb =
+              std::strtod(lb_token.c_str(), nullptr);
+        } else if (iequals(op, "free")) {
+          lexer.next();
+          pending[static_cast<std::size_t>(var)].lb = -kInfinity;
+          pending[static_cast<std::size_t>(var)].ub = kInfinity;
+        }
+        (void)saved;
+      }
+    } else if (section == Section::kGeneral || section == Section::kBinary) {
+      const VarType type =
+          section == Section::kGeneral ? VarType::kInteger : VarType::kBinary;
+      while (true) {
+        const std::string t = lexer.next();
+        if (t.empty()) {
+          section = Section::kEnd;
+          break;
+        }
+        bool dummy = false;
+        const Section s = section_of(t, lexer, &dummy);
+        if (s != Section::kNone) {
+          section = s;
+          break;
+        }
+        const int var = intern(t);
+        pending[static_cast<std::size_t>(var)].type = type;
+        if (type == VarType::kBinary) {
+          pending[static_cast<std::size_t>(var)].lb =
+              std::max(pending[static_cast<std::size_t>(var)].lb, 0.0);
+          pending[static_cast<std::size_t>(var)].ub =
+              std::min(pending[static_cast<std::size_t>(var)].ub, 1.0);
+        }
+      }
+    } else {
+      break;
+    }
+  }
+
+  // Materialize the model.
+  Model model("lp_import");
+  for (std::size_t v = 0; v < var_names.size(); ++v) {
+    PendingVar& pv = pending[v];
+    if (pv.type == VarType::kInteger) {
+      // LP General default bounds when unstated: [0, +inf) is not allowed
+      // for our integer vars; clamp to a wide box.
+      if (!std::isfinite(pv.lb)) pv.lb = -1e9;
+      if (!std::isfinite(pv.ub)) pv.ub = 1e9;
+    }
+    model.add_var(pv.type, pv.lb, pv.ub, var_names[v]);
+  }
+  for (PendingRow& row : rows) {
+    LinExpr lhs;
+    for (const auto& [var, coef] : row.terms) {
+      lhs.add_term(var, coef);
+    }
+    model.add_constraint(lhs, row.sense, row.rhs,
+                         row.name.empty() ? "c" + std::to_string(model.num_constraints())
+                                          : row.name);
+  }
+  LinExpr obj;
+  for (const auto& [var, coef] : objective) obj.add_term(var, coef);
+  if (!objective.empty()) model.set_objective(obj, !maximize);
+  model.validate();
+  return model;
+}
+
+Model read_lp(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return read_lp_string(buffer.str());
+}
+
+}  // namespace sparcs::milp

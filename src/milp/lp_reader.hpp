@@ -1,0 +1,21 @@
+// CPLEX LP-format reader: the counterpart of lp_writer, accepting the
+// subset of the format the writer emits (Minimize/Maximize, Subject To,
+// Bounds, General, Binary, End) plus comments. Enables round-trip tests and
+// feeding externally authored models to the solver.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "milp/model.hpp"
+
+namespace sparcs::milp {
+
+/// Parses an LP-format model. Throws InvalidArgumentError on syntax errors,
+/// with a message naming the offending line.
+Model read_lp(std::istream& is);
+
+/// Convenience wrapper over a string.
+Model read_lp_string(const std::string& text);
+
+}  // namespace sparcs::milp

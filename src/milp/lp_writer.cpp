@@ -1,0 +1,117 @@
+#include "milp/lp_writer.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace sparcs::milp {
+namespace {
+
+/// LP format requires names without spaces; fall back to x<i> for anonymous
+/// variables.
+std::string var_name(const Model& model, VarId v) {
+  const std::string& name = model.var(v).name;
+  if (name.empty()) return "x" + std::to_string(v);
+  std::string sanitized = name;
+  for (char& ch : sanitized) {
+    if (ch == ' ' || ch == ',' || ch == '+' || ch == '-') ch = '_';
+  }
+  return sanitized;
+}
+
+void write_terms(std::ostream& os, const Model& model,
+                 const std::vector<LinTerm>& terms) {
+  bool first = true;
+  for (const LinTerm& t : terms) {
+    const double coef = t.coef;
+    if (coef == 0.0) continue;
+    if (first) {
+      if (coef < 0) os << "- ";
+      first = false;
+    } else {
+      os << (coef < 0 ? " - " : " + ");
+    }
+    const double mag = std::abs(coef);
+    if (mag != 1.0) os << trim_double(mag) << " ";
+    os << var_name(model, t.var);
+  }
+  if (first) os << "0 " << var_name(model, 0);
+}
+
+}  // namespace
+
+void write_lp(std::ostream& os, const Model& model) {
+  os << "\\ Model: " << (model.name().empty() ? "unnamed" : model.name())
+     << "\n";
+  os << (model.minimize() ? "Minimize" : "Maximize") << "\n obj: ";
+  write_terms(os, model, model.objective().terms());
+  os << "\nSubject To\n";
+  for (ConstraintId c = 0; c < model.num_constraints(); ++c) {
+    const ConstraintInfo& info = model.constraint(c);
+    os << " " << (info.name.empty() ? "c" + std::to_string(c) : info.name)
+       << ": ";
+    write_terms(os, model, info.terms);
+    switch (info.sense) {
+      case Sense::kLessEqual:
+        os << " <= ";
+        break;
+      case Sense::kGreaterEqual:
+        os << " >= ";
+        break;
+      case Sense::kEqual:
+        os << " = ";
+        break;
+    }
+    os << trim_double(info.rhs) << "\n";
+  }
+  os << "Bounds\n";
+  for (VarId v = 0; v < model.num_vars(); ++v) {
+    const VarInfo& info = model.var(v);
+    if (info.type == VarType::kBinary) continue;  // declared below
+    os << " ";
+    if (std::isinf(info.lb) && std::isinf(info.ub)) {
+      os << var_name(model, v) << " free\n";
+      continue;
+    }
+    if (std::isinf(info.lb)) {
+      os << "-inf <= ";
+    } else {
+      os << trim_double(info.lb) << " <= ";
+    }
+    os << var_name(model, v);
+    if (!std::isinf(info.ub)) os << " <= " << trim_double(info.ub);
+    os << "\n";
+  }
+  bool have_general = false, have_binary = false;
+  for (VarId v = 0; v < model.num_vars(); ++v) {
+    if (model.var(v).type == VarType::kInteger) have_general = true;
+    if (model.var(v).type == VarType::kBinary) have_binary = true;
+  }
+  if (have_general) {
+    os << "General\n";
+    for (VarId v = 0; v < model.num_vars(); ++v) {
+      if (model.var(v).type == VarType::kInteger) {
+        os << " " << var_name(model, v) << "\n";
+      }
+    }
+  }
+  if (have_binary) {
+    os << "Binary\n";
+    for (VarId v = 0; v < model.num_vars(); ++v) {
+      if (model.var(v).type == VarType::kBinary) {
+        os << " " << var_name(model, v) << "\n";
+      }
+    }
+  }
+  os << "End\n";
+}
+
+std::string to_lp_string(const Model& model) {
+  std::ostringstream os;
+  write_lp(os, model);
+  return os.str();
+}
+
+}  // namespace sparcs::milp

@@ -1,0 +1,18 @@
+// CPLEX LP-format writer, for model debugging and interoperability with
+// external solvers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "milp/model.hpp"
+
+namespace sparcs::milp {
+
+/// Renders the model in CPLEX LP text format.
+void write_lp(std::ostream& os, const Model& model);
+
+/// Convenience wrapper returning the LP text as a string.
+std::string to_lp_string(const Model& model);
+
+}  // namespace sparcs::milp

@@ -1,0 +1,147 @@
+#include "milp/model.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sparcs::milp {
+
+VarId Model::add_var(VarType type, double lb, double ub, std::string name) {
+  SPARCS_REQUIRE(lb <= ub, "variable " + name + " has empty bound box");
+  SPARCS_REQUIRE(!std::isnan(lb) && !std::isnan(ub),
+                 "variable bounds must not be NaN");
+  VarInfo info;
+  info.name = std::move(name);
+  info.type = type;
+  info.lb = lb;
+  info.ub = ub;
+  if (type == VarType::kBinary) {
+    info.lb = std::max(lb, 0.0);
+    info.ub = std::min(ub, 1.0);
+    SPARCS_REQUIRE(info.lb <= info.ub, "binary variable bounds exclude {0,1}");
+  }
+  vars_.push_back(std::move(info));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+VarId Model::add_binary(std::string name) {
+  return add_var(VarType::kBinary, 0.0, 1.0, std::move(name));
+}
+
+VarId Model::add_integer(double lb, double ub, std::string name) {
+  return add_var(VarType::kInteger, lb, ub, std::move(name));
+}
+
+VarId Model::add_continuous(double lb, double ub, std::string name) {
+  return add_var(VarType::kContinuous, lb, ub, std::move(name));
+}
+
+const VarInfo& Model::var(VarId id) const {
+  SPARCS_REQUIRE(id >= 0 && id < num_vars(), "variable id out of range");
+  return vars_[static_cast<std::size_t>(id)];
+}
+
+void Model::tighten_bounds(VarId id, double lb, double ub) {
+  SPARCS_REQUIRE(id >= 0 && id < num_vars(), "variable id out of range");
+  VarInfo& info = vars_[static_cast<std::size_t>(id)];
+  info.lb = std::max(info.lb, lb);
+  info.ub = std::min(info.ub, ub);
+  SPARCS_REQUIRE(info.lb <= info.ub,
+                 "tighten_bounds made variable " + info.name + " infeasible");
+}
+
+void Model::set_branch_priority(VarId id, int priority) {
+  SPARCS_REQUIRE(id >= 0 && id < num_vars(), "variable id out of range");
+  vars_[static_cast<std::size_t>(id)].branch_priority = priority;
+}
+
+void Model::set_branch_hint(VarId id, double value) {
+  SPARCS_REQUIRE(id >= 0 && id < num_vars(), "variable id out of range");
+  vars_[static_cast<std::size_t>(id)].branch_hint = value;
+}
+
+ConstraintId Model::add_constraint(Relation relation, std::string name) {
+  ConstraintInfo info;
+  info.name = std::move(name);
+  LinExpr lhs = std::move(relation.lhs);
+  lhs.normalize();
+  info.terms = lhs.terms();
+  info.sense = relation.sense;
+  info.rhs = relation.rhs - lhs.constant();
+  constraints_.push_back(std::move(info));
+  return static_cast<ConstraintId>(constraints_.size() - 1);
+}
+
+ConstraintId Model::add_constraint(const LinExpr& lhs, Sense sense, double rhs,
+                                   std::string name) {
+  Relation relation;
+  relation.lhs = lhs;
+  relation.sense = sense;
+  relation.rhs = rhs;
+  return add_constraint(std::move(relation), std::move(name));
+}
+
+const ConstraintInfo& Model::constraint(ConstraintId id) const {
+  SPARCS_REQUIRE(id >= 0 && id < num_constraints(),
+                 "constraint id out of range");
+  return constraints_[static_cast<std::size_t>(id)];
+}
+
+void Model::set_objective(LinExpr objective, bool minimize) {
+  objective.normalize();
+  objective_ = std::move(objective);
+  minimize_ = minimize;
+  has_objective_ = true;
+}
+
+ModelStats Model::stats() const {
+  ModelStats s;
+  s.num_vars = num_vars();
+  for (const VarInfo& v : vars_) {
+    switch (v.type) {
+      case VarType::kBinary:
+        ++s.num_binary;
+        break;
+      case VarType::kInteger:
+        ++s.num_integer;
+        break;
+      case VarType::kContinuous:
+        ++s.num_continuous;
+        break;
+    }
+  }
+  s.num_constraints = num_constraints();
+  for (const ConstraintInfo& c : constraints_) {
+    s.num_nonzeros += static_cast<std::int64_t>(c.terms.size());
+  }
+  return s;
+}
+
+void Model::validate() const {
+  for (int i = 0; i < num_vars(); ++i) {
+    const VarInfo& v = vars_[static_cast<std::size_t>(i)];
+    SPARCS_REQUIRE(v.lb <= v.ub, "variable " + v.name + " has empty bounds");
+    if (v.type != VarType::kContinuous) {
+      SPARCS_REQUIRE(std::isfinite(v.lb) && std::isfinite(v.ub),
+                     "integer variable " + v.name + " must have finite bounds");
+    }
+  }
+  auto check_terms = [&](const std::vector<LinTerm>& terms,
+                         const std::string& where) {
+    for (const LinTerm& t : terms) {
+      SPARCS_REQUIRE(t.var >= 0 && t.var < num_vars(),
+                     where + " references unknown variable");
+      SPARCS_REQUIRE(std::isfinite(t.coef),
+                     where + " has a non-finite coefficient");
+    }
+  };
+  for (const ConstraintInfo& c : constraints_) {
+    check_terms(c.terms, "constraint " + c.name);
+    SPARCS_REQUIRE(std::isfinite(c.rhs),
+                   "constraint " + c.name + " has non-finite rhs");
+  }
+  check_terms(objective_.terms(), "objective");
+}
+
+}  // namespace sparcs::milp

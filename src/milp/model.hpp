@@ -1,0 +1,107 @@
+// MILP model container: variables, linear constraints, objective, and the
+// search annotations (branching priorities and hints) the temporal
+// partitioning formulation uses to direct the solver.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "milp/expr.hpp"
+#include "milp/types.hpp"
+
+namespace sparcs::milp {
+
+/// A decision variable's static description.
+struct VarInfo {
+  std::string name;
+  VarType type = VarType::kContinuous;
+  double lb = -kInfinity;
+  double ub = kInfinity;
+  /// Higher priority variables are branched on first (default 0).
+  int branch_priority = 0;
+  /// Preferred branching value (tried first); NaN when unset.
+  double branch_hint = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// A stored linear constraint (expression terms are normalized and the
+/// constant folded into rhs).
+struct ConstraintInfo {
+  std::string name;
+  std::vector<LinTerm> terms;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// Summary statistics of a model.
+struct ModelStats {
+  int num_vars = 0;
+  int num_binary = 0;
+  int num_integer = 0;
+  int num_continuous = 0;
+  int num_constraints = 0;
+  std::int64_t num_nonzeros = 0;
+};
+
+/// A mixed-integer linear program: min (or max) c'x subject to linear
+/// constraints and variable bounds/integrality.
+class Model {
+ public:
+  Model() = default;
+  explicit Model(std::string name) : name_(std::move(name)) {}
+
+  // ---- Variables -------------------------------------------------------
+  VarId add_var(VarType type, double lb, double ub, std::string name);
+  VarId add_binary(std::string name);
+  VarId add_integer(double lb, double ub, std::string name);
+  VarId add_continuous(double lb, double ub, std::string name);
+
+  [[nodiscard]] int num_vars() const { return static_cast<int>(vars_.size()); }
+  [[nodiscard]] const VarInfo& var(VarId id) const;
+  [[nodiscard]] const std::vector<VarInfo>& vars() const { return vars_; }
+
+  /// Tightens a variable's bounds (never relaxes them).
+  void tighten_bounds(VarId id, double lb, double ub);
+  void set_branch_priority(VarId id, int priority);
+  void set_branch_hint(VarId id, double value);
+
+  // ---- Constraints -----------------------------------------------------
+  /// Adds `relation` (built with <=, >=, == on LinExpr) under `name`.
+  ConstraintId add_constraint(Relation relation, std::string name);
+  ConstraintId add_constraint(const LinExpr& lhs, Sense sense, double rhs,
+                              std::string name);
+
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] const ConstraintInfo& constraint(ConstraintId id) const;
+  [[nodiscard]] const std::vector<ConstraintInfo>& constraints() const {
+    return constraints_;
+  }
+
+  // ---- Objective -------------------------------------------------------
+  /// Sets the objective; `minimize` false means maximize. Without a call the
+  /// model is a pure feasibility problem (objective identically 0).
+  void set_objective(LinExpr objective, bool minimize = true);
+  [[nodiscard]] const LinExpr& objective() const { return objective_; }
+  [[nodiscard]] bool minimize() const { return minimize_; }
+  [[nodiscard]] bool has_objective() const { return has_objective_; }
+
+  // ---- Misc ------------------------------------------------------------
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ModelStats stats() const;
+
+  /// Throws InvalidArgumentError on malformed models (empty bounds boxes,
+  /// terms referencing unknown variables, non-finite coefficients).
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<VarInfo> vars_;
+  std::vector<ConstraintInfo> constraints_;
+  LinExpr objective_;
+  bool minimize_ = true;
+  bool has_objective_ = false;
+};
+
+}  // namespace sparcs::milp

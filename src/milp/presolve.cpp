@@ -1,0 +1,84 @@
+#include "milp/presolve.hpp"
+
+#include <cmath>
+
+#include "milp/compiled.hpp"
+#include "milp/propagation.hpp"
+
+namespace sparcs::milp {
+
+PresolveResult presolve(const Model& model) {
+  PresolveResult result;
+  const CompiledModel compiled(model);
+  Domains domains(compiled);
+  Propagator propagator(compiled, 1e-7, 100);
+  PropagationStats prop_stats;
+  if (!propagator.propagate(domains, {}, prop_stats)) {
+    result.stats.infeasible = true;
+    return result;
+  }
+
+  Model reduced(model.name() + "_presolved");
+  for (VarId v = 0; v < model.num_vars(); ++v) {
+    const VarInfo& info = model.var(v);
+    const double lb = domains.lb(v);
+    const double ub = domains.ub(v);
+    if (lb > info.lb || ub < info.ub) ++result.stats.bounds_tightened;
+    if (lb >= ub && !(info.lb >= info.ub)) ++result.stats.vars_fixed;
+    const VarId copy = reduced.add_var(info.type, lb, ub, info.name);
+    reduced.set_branch_priority(copy, info.branch_priority);
+    if (!std::isnan(info.branch_hint)) {
+      reduced.set_branch_hint(copy, info.branch_hint);
+    }
+  }
+
+  for (ConstraintId c = 0; c < model.num_constraints(); ++c) {
+    const ConstraintInfo& info = model.constraint(c);
+    // Substitute fixed variables and compute the residual activity range.
+    LinExpr lhs;
+    double rhs = info.rhs;
+    double min_act = 0.0, max_act = 0.0;
+    bool min_inf = false, max_inf = false;
+    for (const LinTerm& t : info.terms) {
+      const double lb = domains.lb(t.var);
+      const double ub = domains.ub(t.var);
+      if (lb >= ub) {
+        rhs -= t.coef * lb;  // fixed: fold into the right-hand side
+        continue;
+      }
+      lhs.add_term(t.var, t.coef);
+      const double lo = t.coef > 0 ? t.coef * lb : t.coef * ub;
+      const double hi = t.coef > 0 ? t.coef * ub : t.coef * lb;
+      if (std::isfinite(lo)) min_act += lo; else min_inf = true;
+      if (std::isfinite(hi)) max_act += hi; else max_inf = true;
+    }
+    // Drop rows satisfied for every point of the domain box.
+    constexpr double kTol = 1e-9;
+    bool redundant = false;
+    switch (info.sense) {
+      case Sense::kLessEqual:
+        redundant = !max_inf && max_act <= rhs + kTol;
+        break;
+      case Sense::kGreaterEqual:
+        redundant = !min_inf && min_act >= rhs - kTol;
+        break;
+      case Sense::kEqual:
+        redundant = !max_inf && !min_inf && max_act <= rhs + kTol &&
+                    min_act >= rhs - kTol;
+        break;
+    }
+    if (redundant) {
+      ++result.stats.rows_dropped;
+      continue;
+    }
+    reduced.add_constraint(lhs, info.sense, rhs, info.name);
+  }
+
+  if (model.has_objective()) {
+    reduced.set_objective(model.objective(), model.minimize());
+  }
+  result.model = std::move(reduced);
+  return result;
+}
+
+}  // namespace sparcs::milp

@@ -1,0 +1,37 @@
+// Standalone presolve: tightens a Model before solving or exporting.
+//
+// Runs activity-based bound propagation to a fixpoint on the full model,
+// then rewrites it: variable bounds tightened, variables fixed by
+// propagation substituted into the rows, rows that became trivially
+// satisfiable dropped, and empty rows checked for consistency. The solver
+// performs the same propagation internally at the root node; this pass
+// exists so reduced models can be inspected, exported to LP format, or fed
+// to external tools.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace sparcs::milp {
+
+struct PresolveStats {
+  int vars_fixed = 0;
+  int bounds_tightened = 0;
+  int rows_dropped = 0;
+  bool infeasible = false;
+};
+
+struct PresolveResult {
+  /// The reduced model (same variable ids as the input; fixed variables
+  /// remain with lb == ub). Unset when the model is proven infeasible.
+  std::optional<Model> model;
+  PresolveStats stats;
+};
+
+/// Presolves `model` (the input is not modified).
+PresolveResult presolve(const Model& model);
+
+}  // namespace sparcs::milp

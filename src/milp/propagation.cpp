@@ -1,0 +1,190 @@
+#include "milp/propagation.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace sparcs::milp {
+
+Domains::Domains(const CompiledModel& model) {
+  const int n = model.num_vars();
+  lb_.reserve(static_cast<std::size_t>(n));
+  ub_.reserve(static_cast<std::size_t>(n));
+  for (VarId v = 0; v < n; ++v) {
+    lb_.push_back(model.lb(v));
+    ub_.push_back(model.ub(v));
+  }
+}
+
+bool Domains::set_lb(VarId v, double value) {
+  double& slot = lb_[static_cast<std::size_t>(v)];
+  if (value <= slot) return false;
+  trail_.push_back({v, true, slot});
+  slot = value;
+  return true;
+}
+
+bool Domains::set_ub(VarId v, double value) {
+  double& slot = ub_[static_cast<std::size_t>(v)];
+  if (value >= slot) return false;
+  trail_.push_back({v, false, slot});
+  slot = value;
+  return true;
+}
+
+void Domains::rollback(std::size_t mark) {
+  while (trail_.size() > mark) {
+    const TrailEntry& e = trail_.back();
+    if (e.is_lb) {
+      lb_[static_cast<std::size_t>(e.var)] = e.old_value;
+    } else {
+      ub_[static_cast<std::size_t>(e.var)] = e.old_value;
+    }
+    trail_.pop_back();
+  }
+}
+
+Propagator::Propagator(const CompiledModel& model, double feasibility_tol,
+                       int max_rounds)
+    : model_(model),
+      tol_(feasibility_tol),
+      max_rounds_(max_rounds),
+      in_queue_(static_cast<std::size_t>(model.num_constraints()), false) {}
+
+void Propagator::enqueue_var(VarId v) {
+  for (const std::int32_t c : model_.constraints_of(v)) {
+    if (!in_queue_[static_cast<std::size_t>(c)]) {
+      in_queue_[static_cast<std::size_t>(c)] = true;
+      queue_.push_back(c);
+    }
+  }
+}
+
+void Propagator::enqueue_all() {
+  for (int c = 0; c < model_.num_constraints(); ++c) {
+    if (!in_queue_[static_cast<std::size_t>(c)]) {
+      in_queue_[static_cast<std::size_t>(c)] = true;
+      queue_.push_back(c);
+    }
+  }
+}
+
+bool Propagator::propagate(Domains& domains,
+                           const std::vector<VarId>& seed_vars,
+                           PropagationStats& stats) {
+  queue_.clear();
+  std::fill(in_queue_.begin(), in_queue_.end(), false);
+  if (seed_vars.empty()) {
+    enqueue_all();
+  } else {
+    for (const VarId v : seed_vars) enqueue_var(v);
+  }
+
+  const std::int64_t budget =
+      static_cast<std::int64_t>(max_rounds_) *
+      std::max(1, model_.num_constraints());
+  std::int64_t processed = 0;
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const int c = queue_[head++];
+    in_queue_[static_cast<std::size_t>(c)] = false;
+    if (!process_constraint(c, domains, stats)) {
+      ++stats.conflicts;
+      return false;
+    }
+    if (++processed > budget) break;  // settle for the bounds found so far
+    // Compact the consumed prefix occasionally to bound memory.
+    if (head > 4096 && head * 2 > queue_.size()) {
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+  }
+  stats.constraints_processed += processed;
+  return true;
+}
+
+bool Propagator::process_constraint(int c, Domains& domains,
+                                    PropagationStats& stats) {
+  const CompiledConstraint& cc = model_.constraint(c);
+  const double* coefs = model_.coefs(cc);
+  const VarId* vars = model_.vars(cc);
+  const int len = model_.size(cc);
+  if (!std::isfinite(cc.rhs)) return true;  // inactive cutoff row
+
+  // Row activity bounds with infinite-contribution counters.
+  double min_act = 0.0, max_act = 0.0;
+  int min_infs = 0, max_infs = 0;
+  for (int k = 0; k < len; ++k) {
+    const double a = coefs[k];
+    const double lo = domains.lb(vars[k]);
+    const double hi = domains.ub(vars[k]);
+    const double contrib_min = a > 0.0 ? a * lo : a * hi;
+    const double contrib_max = a > 0.0 ? a * hi : a * lo;
+    if (std::isfinite(contrib_min)) min_act += contrib_min; else ++min_infs;
+    if (std::isfinite(contrib_max)) max_act += contrib_max; else ++max_infs;
+  }
+
+  const bool need_le =
+      cc.sense == Sense::kLessEqual || cc.sense == Sense::kEqual;
+  const bool need_ge =
+      cc.sense == Sense::kGreaterEqual || cc.sense == Sense::kEqual;
+
+  if (need_le && min_infs == 0 && min_act > cc.rhs + tol_) return false;
+  if (need_ge && max_infs == 0 && max_act < cc.rhs - tol_) return false;
+
+  // Tighten each variable from the residual activity of the others.
+  for (int k = 0; k < len; ++k) {
+    const VarId v = vars[k];
+    const double a = coefs[k];
+    const double lo = domains.lb(v);
+    const double hi = domains.ub(v);
+    const double contrib_min = a > 0.0 ? a * lo : a * hi;
+    const double contrib_max = a > 0.0 ? a * hi : a * lo;
+    const bool self_min_inf = !std::isfinite(contrib_min);
+    const bool self_max_inf = !std::isfinite(contrib_max);
+
+    if (need_le && (min_infs == 0 || (min_infs == 1 && self_min_inf))) {
+      // residual = min activity of the other terms
+      const double residual = self_min_inf ? min_act : min_act - contrib_min;
+      const double slack = cc.rhs - residual;
+      // a*x <= slack
+      double new_bound = slack / a;
+      bool changed = false;
+      if (a > 0.0) {
+        if (model_.is_integral(v)) new_bound = std::floor(new_bound + tol_);
+        if (new_bound < hi - tol_) changed = domains.set_ub(v, new_bound);
+      } else {
+        if (model_.is_integral(v)) new_bound = std::ceil(new_bound - tol_);
+        if (new_bound > lo + tol_) changed = domains.set_lb(v, new_bound);
+      }
+      if (changed) {
+        ++stats.bounds_tightened;
+        if (domains.lb(v) > domains.ub(v) + tol_) return false;
+        enqueue_var(v);
+      }
+    }
+    if (need_ge && (max_infs == 0 || (max_infs == 1 && self_max_inf))) {
+      const double residual = self_max_inf ? max_act : max_act - contrib_max;
+      const double slack = cc.rhs - residual;
+      // a*x >= slack
+      double new_bound = slack / a;
+      bool changed = false;
+      if (a > 0.0) {
+        if (model_.is_integral(v)) new_bound = std::ceil(new_bound - tol_);
+        if (new_bound > domains.lb(v) + tol_) changed = domains.set_lb(v, new_bound);
+      } else {
+        if (model_.is_integral(v)) new_bound = std::floor(new_bound + tol_);
+        if (new_bound < domains.ub(v) - tol_) changed = domains.set_ub(v, new_bound);
+      }
+      if (changed) {
+        ++stats.bounds_tightened;
+        if (domains.lb(v) > domains.ub(v) + tol_) return false;
+        enqueue_var(v);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sparcs::milp

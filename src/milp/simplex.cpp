@@ -1,0 +1,493 @@
+#include "milp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+
+namespace sparcs::milp {
+
+int LpProblem::add_var(double objective, double lower, double upper) {
+  obj.push_back(objective);
+  lb.push_back(lower);
+  ub.push_back(upper);
+  return num_vars() - 1;
+}
+
+void LpProblem::add_row(std::vector<LinTerm> terms, Sense sense, double rhs) {
+  rows.push_back(Row{std::move(terms), sense, rhs});
+}
+
+namespace {
+
+enum class ColStatus : std::uint8_t {
+  kBasic,
+  kAtLower,
+  kAtUpper,
+  kFreeZero,  ///< nonbasic free variable pinned at 0
+};
+
+/// Dense bounded-variable simplex working state.
+class SimplexTableau {
+ public:
+  SimplexTableau(const LpProblem& problem, const LpParams& params)
+      : params_(params),
+        m_(problem.num_rows()),
+        n_struct_(problem.num_vars()) {
+    build(problem);
+  }
+
+  LpResult run();
+
+ private:
+  void build(const LpProblem& problem);
+  void compute_reduced_costs();
+  /// Returns entering column or -1 when the current phase is optimal.
+  int choose_entering(bool bland) const;
+  /// Performs one simplex iteration; returns false on unboundedness.
+  bool iterate(int entering, bool* made_progress);
+  double& tab(int row, int col) { return tab_[static_cast<std::size_t>(row) * ncols_ + col]; }
+  double tab(int row, int col) const { return tab_[static_cast<std::size_t>(row) * ncols_ + col]; }
+  double nonbasic_value(int col) const;
+  void set_phase(int phase);
+  double infeasibility_sum() const;
+  void extract(LpResult& result) const;
+
+  const LpParams& params_;
+  int m_ = 0;         ///< number of rows
+  int n_struct_ = 0;  ///< structural variables
+  int ncols_ = 0;     ///< structural + slack + artificial columns
+  int first_artificial_ = 0;
+
+  std::vector<double> tab_;     ///< m x ncols dense tableau (B^-1 A)
+  std::vector<double> xb_;      ///< value of the basic variable of each row
+  std::vector<int> basis_;      ///< column basic in each row
+  std::vector<ColStatus> stat_;
+  std::vector<double> lb_, ub_;
+  std::vector<double> cost_;        ///< current phase objective
+  std::vector<double> real_cost_;   ///< phase-2 objective
+  std::vector<double> d_;           ///< reduced costs for current phase
+  int phase_ = 1;
+  int iterations_ = 0;
+};
+
+void SimplexTableau::build(const LpProblem& problem) {
+  const int n_slack = m_;
+  const int n_art = m_;
+  ncols_ = n_struct_ + n_slack + n_art;
+  first_artificial_ = n_struct_ + n_slack;
+  SPARCS_REQUIRE(static_cast<std::int64_t>(m_) * ncols_ <=
+                     params_.max_tableau_entries,
+                 "LP too large for the dense simplex tableau");
+
+  lb_.assign(static_cast<std::size_t>(ncols_), 0.0);
+  ub_.assign(static_cast<std::size_t>(ncols_), kInfinity);
+  real_cost_.assign(static_cast<std::size_t>(ncols_), 0.0);
+  for (int j = 0; j < n_struct_; ++j) {
+    lb_[j] = problem.lb[static_cast<std::size_t>(j)];
+    ub_[j] = problem.ub[static_cast<std::size_t>(j)];
+    real_cost_[j] = problem.obj[static_cast<std::size_t>(j)];
+  }
+  // Slack bounds encode the row sense: Ax + s = b.
+  for (int i = 0; i < m_; ++i) {
+    const int j = n_struct_ + i;
+    switch (problem.rows[static_cast<std::size_t>(i)].sense) {
+      case Sense::kLessEqual:
+        lb_[j] = 0.0;
+        ub_[j] = kInfinity;
+        break;
+      case Sense::kGreaterEqual:
+        lb_[j] = -kInfinity;
+        ub_[j] = 0.0;
+        break;
+      case Sense::kEqual:
+        lb_[j] = 0.0;
+        ub_[j] = 0.0;
+        break;
+    }
+  }
+
+  // Nonbasic statuses: every structural/slack column at its finite bound
+  // nearest zero (free columns pinned at zero).
+  stat_.assign(static_cast<std::size_t>(ncols_), ColStatus::kAtLower);
+  for (int j = 0; j < first_artificial_; ++j) {
+    const double lo = lb_[j], hi = ub_[j];
+    if (std::isfinite(lo) && std::isfinite(hi)) {
+      stat_[j] = std::abs(lo) <= std::abs(hi) ? ColStatus::kAtLower
+                                              : ColStatus::kAtUpper;
+    } else if (std::isfinite(lo)) {
+      stat_[j] = ColStatus::kAtLower;
+    } else if (std::isfinite(hi)) {
+      stat_[j] = ColStatus::kAtUpper;
+    } else {
+      stat_[j] = ColStatus::kFreeZero;
+    }
+  }
+
+  // Tableau = [A | I_slack | +-I_art]; artificial signs chosen so the initial
+  // artificial basis has non-negative values.
+  tab_.assign(static_cast<std::size_t>(m_) * ncols_, 0.0);
+  std::vector<double> residual(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const auto& row = problem.rows[static_cast<std::size_t>(i)];
+    for (const LinTerm& term : row.terms) {
+      SPARCS_REQUIRE(term.var >= 0 && term.var < n_struct_,
+                     "LP row references unknown variable");
+      tab(i, term.var) += term.coef;
+    }
+    tab(i, n_struct_ + i) = 1.0;  // slack
+    double lhs = 0.0;
+    for (int j = 0; j < n_struct_ + m_; ++j) {
+      if (tab(i, j) != 0.0) lhs += tab(i, j) * nonbasic_value(j);
+    }
+    residual[static_cast<std::size_t>(i)] = row.rhs - lhs;
+  }
+
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  xb_.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const int art = first_artificial_ + i;
+    const double r = residual[static_cast<std::size_t>(i)];
+    if (r < 0.0) {
+      // The artificial enters with coefficient -1; scale the row by -1 so the
+      // basis column is the identity (tableau rows must be B^-1 A).
+      double* row = &tab_[static_cast<std::size_t>(i) * ncols_];
+      for (int j = 0; j < ncols_; ++j) row[j] = -row[j];
+    }
+    tab(i, art) = 1.0;
+    basis_[static_cast<std::size_t>(i)] = art;
+    stat_[static_cast<std::size_t>(art)] = ColStatus::kBasic;
+    xb_[static_cast<std::size_t>(i)] = std::abs(r);
+  }
+
+  set_phase(1);
+}
+
+double SimplexTableau::nonbasic_value(int col) const {
+  switch (stat_[static_cast<std::size_t>(col)]) {
+    case ColStatus::kAtLower:
+      return lb_[static_cast<std::size_t>(col)];
+    case ColStatus::kAtUpper:
+      return ub_[static_cast<std::size_t>(col)];
+    case ColStatus::kFreeZero:
+      return 0.0;
+    case ColStatus::kBasic:
+      break;
+  }
+  for (int i = 0; i < m_; ++i) {
+    if (basis_[static_cast<std::size_t>(i)] == col) {
+      return xb_[static_cast<std::size_t>(i)];
+    }
+  }
+  return 0.0;
+}
+
+void SimplexTableau::set_phase(int phase) {
+  phase_ = phase;
+  cost_.assign(static_cast<std::size_t>(ncols_), 0.0);
+  if (phase == 1) {
+    for (int j = first_artificial_; j < ncols_; ++j) cost_[j] = 1.0;
+  } else {
+    for (int j = 0; j < first_artificial_; ++j) cost_[j] = real_cost_[j];
+    // Artificials are pinned at zero for phase 2.
+    for (int j = first_artificial_; j < ncols_; ++j) {
+      lb_[j] = 0.0;
+      ub_[j] = 0.0;
+      if (stat_[static_cast<std::size_t>(j)] != ColStatus::kBasic) {
+        stat_[static_cast<std::size_t>(j)] = ColStatus::kAtLower;
+      }
+    }
+  }
+  compute_reduced_costs();
+}
+
+void SimplexTableau::compute_reduced_costs() {
+  d_ = cost_;
+  for (int i = 0; i < m_; ++i) {
+    const double cb = cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+    if (cb == 0.0) continue;
+    const double* row = &tab_[static_cast<std::size_t>(i) * ncols_];
+    for (int j = 0; j < ncols_; ++j) d_[static_cast<std::size_t>(j)] -= cb * row[j];
+  }
+  // Basic columns have zero reduced cost by definition; enforce exactly.
+  for (int i = 0; i < m_; ++i) {
+    d_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = 0.0;
+  }
+}
+
+int SimplexTableau::choose_entering(bool bland) const {
+  int best = -1;
+  double best_score = params_.optimality_tol;
+  for (int j = 0; j < ncols_; ++j) {
+    const ColStatus s = stat_[static_cast<std::size_t>(j)];
+    if (s == ColStatus::kBasic) continue;
+    const double dj = d_[static_cast<std::size_t>(j)];
+    double score = 0.0;
+    if ((s == ColStatus::kAtLower || s == ColStatus::kFreeZero) && dj < -params_.optimality_tol) {
+      score = -dj;
+    } else if ((s == ColStatus::kAtUpper || s == ColStatus::kFreeZero) && dj > params_.optimality_tol) {
+      score = dj;
+    } else {
+      continue;
+    }
+    if (bland) return j;  // first eligible index
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+bool SimplexTableau::iterate(int entering, bool* made_progress) {
+  const std::size_t q = static_cast<std::size_t>(entering);
+  const double dq = d_[q];
+  // Direction of movement of the entering variable.
+  const ColStatus s = stat_[q];
+  int dir;
+  if (s == ColStatus::kAtLower) {
+    dir = +1;
+  } else if (s == ColStatus::kAtUpper) {
+    dir = -1;
+  } else {  // free at zero: move against the gradient
+    dir = dq < 0.0 ? +1 : -1;
+  }
+
+  // Ratio test.
+  double t_max = ub_[q] - lb_[q];  // bound-flip distance (may be inf/NaN)
+  if (!std::isfinite(t_max)) t_max = kInfinity;
+  int leave_row = -1;
+  double leave_pivot = 0.0;
+  bool leave_at_upper = false;
+  for (int i = 0; i < m_; ++i) {
+    const double y = tab(i, entering);
+    if (std::abs(y) < params_.pivot_tol) continue;
+    const int b = basis_[static_cast<std::size_t>(i)];
+    const double v = xb_[static_cast<std::size_t>(i)];
+    const double delta = -static_cast<double>(dir) * y;  // d(xB_i)/dt
+    double limit;
+    bool hits_upper;
+    if (delta < 0.0) {
+      limit = lb_[static_cast<std::size_t>(b)];
+      if (!std::isfinite(limit)) continue;
+      hits_upper = false;
+    } else {
+      limit = ub_[static_cast<std::size_t>(b)];
+      if (!std::isfinite(limit)) continue;
+      hits_upper = true;
+    }
+    double t_i = (limit - v) / delta;
+    if (t_i < 0.0) t_i = 0.0;  // degenerate step
+    if (t_i < t_max - params_.pivot_tol ||
+        (t_i < t_max + params_.pivot_tol &&
+         std::abs(y) > std::abs(leave_pivot))) {
+      if (t_i <= t_max) {
+        t_max = t_i;
+        leave_row = i;
+        leave_pivot = y;
+        leave_at_upper = hits_upper;
+      }
+    }
+  }
+
+  if (!std::isfinite(t_max)) {
+    return false;  // unbounded direction
+  }
+
+  const double step = t_max;
+  *made_progress = std::abs(step * dq) > 1e-12;
+
+  // Apply the step to the basic values.
+  if (step != 0.0) {
+    for (int i = 0; i < m_; ++i) {
+      const double y = tab(i, entering);
+      if (y != 0.0) {
+        xb_[static_cast<std::size_t>(i)] -= static_cast<double>(dir) * step * y;
+      }
+    }
+  }
+
+  if (leave_row < 0) {
+    // Pure bound flip: the entering variable traverses to its other bound.
+    stat_[q] = (dir > 0) ? ColStatus::kAtUpper : ColStatus::kAtLower;
+    return true;
+  }
+
+  // Basis change: entering becomes basic at its new value; the leaving
+  // variable exits at the bound it hit.
+  const std::size_t r = static_cast<std::size_t>(leave_row);
+  const int leaving = basis_[r];
+  const double entering_value =
+      (s == ColStatus::kAtUpper ? ub_[q]
+       : s == ColStatus::kAtLower ? lb_[q]
+                                  : 0.0) +
+      static_cast<double>(dir) * step;
+
+  stat_[static_cast<std::size_t>(leaving)] =
+      leave_at_upper ? ColStatus::kAtUpper : ColStatus::kAtLower;
+  basis_[r] = entering;
+  stat_[q] = ColStatus::kBasic;
+  xb_[r] = entering_value;
+
+  // Gauss-Jordan elimination on the pivot column.
+  double* prow = &tab_[r * ncols_];
+  const double pivot = prow[entering];
+  const double inv = 1.0 / pivot;
+  for (int j = 0; j < ncols_; ++j) prow[j] *= inv;
+  prow[entering] = 1.0;
+  for (int i = 0; i < m_; ++i) {
+    if (i == leave_row) continue;
+    double* row = &tab_[static_cast<std::size_t>(i) * ncols_];
+    const double factor = row[entering];
+    if (factor == 0.0) continue;
+    for (int j = 0; j < ncols_; ++j) row[j] -= factor * prow[j];
+    row[entering] = 0.0;
+  }
+  const double dfac = d_[q];
+  if (dfac != 0.0) {
+    for (int j = 0; j < ncols_; ++j) d_[static_cast<std::size_t>(j)] -= dfac * prow[j];
+  }
+  d_[q] = 0.0;
+  return true;
+}
+
+double SimplexTableau::infeasibility_sum() const {
+  double total = 0.0;
+  for (int i = 0; i < m_; ++i) {
+    if (basis_[static_cast<std::size_t>(i)] >= first_artificial_) {
+      total += std::abs(xb_[static_cast<std::size_t>(i)]);
+    }
+  }
+  return total;
+}
+
+void SimplexTableau::extract(LpResult& result) const {
+  result.x.assign(static_cast<std::size_t>(n_struct_), 0.0);
+  for (int j = 0; j < n_struct_; ++j) {
+    if (stat_[static_cast<std::size_t>(j)] != ColStatus::kBasic) {
+      result.x[static_cast<std::size_t>(j)] = nonbasic_value(j);
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    if (b < n_struct_) {
+      result.x[static_cast<std::size_t>(b)] = xb_[static_cast<std::size_t>(i)];
+    }
+  }
+  double obj = 0.0;
+  for (int j = 0; j < n_struct_; ++j) {
+    obj += real_cost_[static_cast<std::size_t>(j)] * result.x[static_cast<std::size_t>(j)];
+  }
+  result.objective = obj;
+}
+
+LpResult SimplexTableau::run() {
+  LpResult result;
+  int stall = 0;
+  for (phase_ = 1; phase_ <= 2;) {
+    const int entering = choose_entering(stall > params_.stall_threshold);
+    if (entering < 0) {
+      // Current phase optimal.
+      if (phase_ == 1) {
+        if (infeasibility_sum() > 1e3 * params_.feasibility_tol) {
+          result.status = LpStatus::kInfeasible;
+          result.iterations = iterations_;
+          return result;
+        }
+        set_phase(2);
+        stall = 0;
+        continue;
+      }
+      result.status = LpStatus::kOptimal;
+      result.iterations = iterations_;
+      extract(result);
+      return result;
+    }
+    bool progress = false;
+    if (!iterate(entering, &progress)) {
+      result.status =
+          phase_ == 1 ? LpStatus::kInfeasible : LpStatus::kUnbounded;
+      result.iterations = iterations_;
+      return result;
+    }
+    stall = progress ? 0 : stall + 1;
+    if (++iterations_ >= params_.max_iterations) {
+      result.status = LpStatus::kIterationLimit;
+      result.iterations = iterations_;
+      return result;
+    }
+    // Periodic refresh guards against accumulated roundoff in the cost row.
+    if (iterations_ % 512 == 0) compute_reduced_costs();
+  }
+  result.status = LpStatus::kIterationLimit;
+  result.iterations = iterations_;
+  return result;
+}
+
+}  // namespace
+
+LpResult solve_lp(const LpProblem& problem, const LpParams& params) {
+  for (int j = 0; j < problem.num_vars(); ++j) {
+    if (problem.lb[static_cast<std::size_t>(j)] >
+        problem.ub[static_cast<std::size_t>(j)] + params.feasibility_tol) {
+      LpResult result;
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+  }
+  SimplexTableau tableau(problem, params);
+  return tableau.run();
+}
+
+LpProblem relaxation_of(const Model& model, bool* flip_objective) {
+  LpProblem lp;
+  const double sign = model.minimize() ? 1.0 : -1.0;
+  if (flip_objective != nullptr) *flip_objective = !model.minimize();
+  lp.obj.assign(static_cast<std::size_t>(model.num_vars()), 0.0);
+  lp.lb.reserve(static_cast<std::size_t>(model.num_vars()));
+  lp.ub.reserve(static_cast<std::size_t>(model.num_vars()));
+  for (const VarInfo& v : model.vars()) {
+    lp.lb.push_back(v.lb);
+    lp.ub.push_back(v.ub);
+  }
+  for (const LinTerm& term : model.objective().terms()) {
+    lp.obj[static_cast<std::size_t>(term.var)] += sign * term.coef;
+  }
+  for (const ConstraintInfo& c : model.constraints()) {
+    lp.rows.push_back(LpProblem::Row{c.terms, c.sense, c.rhs});
+  }
+  return lp;
+}
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kFeasible:
+      return "feasible";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kLimitReached:
+      return "limit-reached";
+  }
+  return "unknown";
+}
+
+std::string to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+}  // namespace sparcs::milp

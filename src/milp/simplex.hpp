@@ -1,0 +1,64 @@
+// Bounded-variable two-phase primal simplex (dense tableau).
+//
+// Scope: the LP sizes this project needs are small-to-medium (the continuous
+// completion problems of the branch & bound are tiny; LP-relaxation bounding
+// is only enabled for models below a size threshold), so a dense full-tableau
+// method with Dantzig pricing, a Bland anti-cycling fallback and explicit
+// artificial variables is the robust, simple choice. Rows are converted to
+// equalities with a bounded slack; Phase 1 minimizes the sum of artificial
+// variables started from all structural/slack columns at their bound nearest
+// zero.
+#pragma once
+
+#include <vector>
+
+#include "milp/expr.hpp"
+#include "milp/model.hpp"
+#include "milp/types.hpp"
+
+namespace sparcs::milp {
+
+/// A linear program in computational form: min obj'x subject to the rows and
+/// the variable bounds (use +-kInfinity for free directions).
+struct LpProblem {
+  std::vector<double> obj;
+  std::vector<double> lb;
+  std::vector<double> ub;
+
+  struct Row {
+    std::vector<LinTerm> terms;
+    Sense sense = Sense::kLessEqual;
+    double rhs = 0.0;
+  };
+  std::vector<Row> rows;
+
+  [[nodiscard]] int num_vars() const { return static_cast<int>(obj.size()); }
+  [[nodiscard]] int num_rows() const { return static_cast<int>(rows.size()); }
+
+  /// Appends a variable, returning its index.
+  int add_var(double objective, double lower, double upper);
+  /// Appends a row.
+  void add_row(std::vector<LinTerm> terms, Sense sense, double rhs);
+};
+
+struct LpParams {
+  int max_iterations = 200000;
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-7;
+  double pivot_tol = 1e-9;
+  /// Switch to Bland's rule after this many iterations without improvement.
+  int stall_threshold = 500;
+  /// Hard cap on tableau entries (rows * columns) to avoid runaway memory;
+  /// exceeding it throws InvalidArgumentError.
+  std::int64_t max_tableau_entries = 60'000'000;
+};
+
+/// Solves the LP with the two-phase bounded-variable simplex.
+LpResult solve_lp(const LpProblem& problem, const LpParams& params = {});
+
+/// Builds the LP relaxation of a MILP model (integrality dropped). A
+/// maximization objective is negated so the LP is always a minimization;
+/// `flip_objective` reports whether the sign was flipped.
+LpProblem relaxation_of(const Model& model, bool* flip_objective = nullptr);
+
+}  // namespace sparcs::milp

@@ -1,0 +1,22 @@
+#include "milp/solver.hpp"
+
+#include "milp/branch_and_bound.hpp"
+
+namespace sparcs::milp {
+
+MilpSolution solve(const Model& model, const SolverParams& params) {
+  return solve_branch_and_bound(model, params);
+}
+
+MilpSolution solve_first_feasible(const Model& model, SolverParams params) {
+  params.stop_at_first_feasible = true;
+  return solve_branch_and_bound(model, params);
+}
+
+MilpSolution solve_to_optimality(const Model& model, SolverParams params) {
+  params.stop_at_first_feasible = false;
+  params.use_lp_bounding = true;
+  return solve_branch_and_bound(model, params);
+}
+
+}  // namespace sparcs::milp

@@ -1,0 +1,23 @@
+// Solver façade: the single entry point the rest of the system uses, mirroring
+// the narrow slice of a commercial ILP solver's API the paper depends on.
+#pragma once
+
+#include "milp/model.hpp"
+#include "milp/types.hpp"
+
+namespace sparcs::milp {
+
+/// Solves the MILP. With params.stop_at_first_feasible the call returns the
+/// first constraint-satisfying assignment found (the paper's SolveModel());
+/// otherwise the search runs to proven optimality or a limit.
+MilpSolution solve(const Model& model, const SolverParams& params = {});
+
+/// Convenience wrapper for constraint-satisfaction queries.
+MilpSolution solve_first_feasible(const Model& model,
+                                  SolverParams params = {});
+
+/// Convenience wrapper for optimality queries with LP bounding enabled for
+/// models small enough to afford it.
+MilpSolution solve_to_optimality(const Model& model, SolverParams params = {});
+
+}  // namespace sparcs::milp

@@ -1,0 +1,115 @@
+// Common types of the MILP subsystem.
+//
+// This subsystem is the repository's stand-in for the commercial ILP solver
+// (CPLEX) used in the paper: a 0/1-oriented mixed-integer linear programming
+// solver built from a bounded-variable two-phase simplex, activity-based
+// bound propagation, and depth-first branch & bound with feasibility
+// emphasis. The paper's algorithms only require "return the first feasible
+// solution or prove infeasibility, under a time budget", plus an optimality
+// mode for the small reference experiments; both are provided.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sparcs::milp {
+
+/// Index of a decision variable within its Model.
+using VarId = std::int32_t;
+/// Index of a linear constraint within its Model.
+using ConstraintId = std::int32_t;
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class VarType : std::uint8_t {
+  kContinuous,
+  kBinary,   ///< integer restricted to {0, 1}
+  kInteger,  ///< general bounded integer
+};
+
+/// Relational sense of a linear constraint.
+enum class Sense : std::uint8_t {
+  kLessEqual,
+  kGreaterEqual,
+  kEqual,
+};
+
+/// Outcome of a MILP solve.
+enum class SolveStatus : std::uint8_t {
+  kOptimal,       ///< search exhausted; incumbent is proven optimal
+  kFeasible,      ///< a feasible solution was found (first-feasible mode, or
+                  ///< limits hit with an incumbent in hand)
+  kInfeasible,    ///< search exhausted with no feasible solution
+  kUnbounded,     ///< objective unbounded below (minimization)
+  kLimitReached,  ///< node/time limit hit before any feasible solution
+};
+
+[[nodiscard]] std::string to_string(SolveStatus status);
+
+/// Tuning knobs of the MILP solver.
+struct SolverParams {
+  /// Stop as soon as any feasible solution is found (constraint-satisfaction
+  /// mode, the mode the paper's SolveModel() uses).
+  bool stop_at_first_feasible = false;
+
+  /// Wall-clock budget in seconds; exceeded => kLimitReached / kFeasible.
+  double time_limit_sec = kInfinity;
+
+  /// Maximum number of branch & bound nodes explored.
+  std::int64_t node_limit = std::numeric_limits<std::int64_t>::max();
+
+  /// Use LP-relaxation bounding/pruning at search nodes. Strong but costly;
+  /// enabled automatically for optimality runs on models below
+  /// `lp_bounding_max_vars`.
+  bool use_lp_bounding = false;
+  int lp_bounding_max_vars = 2000;
+
+  /// Integrality and feasibility tolerances.
+  double integrality_tol = 1e-6;
+  double feasibility_tol = 1e-6;
+
+  /// Minimum improvement required of a new incumbent (objective cutoff step).
+  double objective_improvement = 1e-6;
+
+  /// Maximum propagation sweeps per node before settling.
+  int max_propagation_rounds = 50;
+
+  /// Emit per-node progress at kInfo level every this many nodes (0 = off).
+  std::int64_t log_every_nodes = 0;
+};
+
+/// Result of a MILP solve.
+struct MilpSolution {
+  SolveStatus status = SolveStatus::kLimitReached;
+  double objective = 0.0;              ///< valid when a solution exists
+  std::vector<double> values;          ///< per-variable values (empty if none)
+  std::int64_t nodes_explored = 0;
+  std::int64_t propagations = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] bool has_solution() const {
+    return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
+  }
+};
+
+/// Outcome of an LP solve.
+enum class LpStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+[[nodiscard]] std::string to_string(LpStatus status);
+
+/// Result of a pure LP solve.
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< primal values, one per variable
+  int iterations = 0;
+};
+
+}  // namespace sparcs::milp

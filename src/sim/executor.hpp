@@ -1,0 +1,82 @@
+// Event-driven execution simulator for partitioned designs.
+//
+// Simulates the run-time reconfigurable processor executing a partitioned
+// design: for each temporal partition in order it (1) charges the
+// reconfiguration time C_T, (2) runs the partition's tasks as a task-level
+// dataflow (a task starts when all its same-partition predecessors finished;
+// cross-partition inputs are already buffered), and (3) tracks the on-board
+// memory occupancy — environment inputs held until consumed, environment
+// outputs held once produced, cross-partition edge data held from producer
+// completion until the consumer's partition retires.
+//
+// The simulator is an independent oracle for the analytic model of
+// core::recompute_latency / core::partition_memory: on any valid design the
+// simulated makespan equals the analytic total latency, and the peak
+// simulated memory never exceeds the analytic per-partition bound.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "core/solution.hpp"
+#include "graph/task_graph.hpp"
+
+namespace sparcs::sim {
+
+/// One simulated task execution.
+struct TaskTrace {
+  graph::TaskId task = -1;
+  int partition = 0;
+  double start_ns = 0.0;
+  double finish_ns = 0.0;
+};
+
+/// One simulated partition (configuration) occupancy window.
+struct PartitionTrace {
+  int partition = 0;
+  double reconfig_start_ns = 0.0;  ///< configuration load begins
+  double exec_start_ns = 0.0;      ///< first task may start
+  double exec_finish_ns = 0.0;     ///< last task finished
+  double area_used = 0.0;
+  double peak_memory = 0.0;        ///< peak occupancy while resident
+};
+
+/// Complete simulation result.
+struct SimulationResult {
+  double makespan_ns = 0.0;  ///< total wall time incl. reconfigurations
+  double total_reconfig_ns = 0.0;
+  double peak_memory = 0.0;
+  std::vector<TaskTrace> tasks;           ///< indexed by TaskId
+  std::vector<PartitionTrace> partitions;  ///< used partitions, in order
+
+  /// Gantt-style text rendering for reports and examples.
+  [[nodiscard]] std::string to_string(const graph::TaskGraph& graph) const;
+};
+
+struct SimulationOptions {
+  /// Configuration prefetch (time-multiplexed FPGAs with a double-buffered
+  /// context, as in the paper's reference [12]): the loader fetches
+  /// configuration p+1 while configuration p executes, so reconfiguration
+  /// time is hidden wherever C_T <= d_p. Loads still serialize on the single
+  /// loader port.
+  bool prefetch_configurations = false;
+};
+
+/// Simulates `design` on `device`. The design must pass
+/// core::validate_design; throws InvalidArgumentError otherwise.
+SimulationResult simulate(const graph::TaskGraph& graph,
+                          const arch::Device& device,
+                          const core::PartitionedDesign& design,
+                          const SimulationOptions& options = {});
+
+/// Closed-form makespan of the simulate() timing model (with or without
+/// prefetch), computed from the per-partition critical paths without running
+/// the event simulation. With prefetch off this equals the paper's analytic
+/// latency except that empty partition indices are not charged.
+double estimated_makespan(const graph::TaskGraph& graph,
+                          const arch::Device& device,
+                          const core::PartitionedDesign& design,
+                          bool prefetch_configurations = false);
+
+}  // namespace sparcs::sim

@@ -1,0 +1,67 @@
+#include "spatial/flow.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace sparcs::spatial {
+
+FlowResult map_design_to_board(const graph::TaskGraph& graph,
+                               const core::PartitionedDesign& design,
+                               const Board& board, SpatialEngine engine,
+                               milp::SolverParams ilp_params) {
+  board.validate();
+  FlowResult result;
+  for (int p = 1; p <= design.num_partitions_allocated; ++p) {
+    Netlist netlist = partition_netlist(graph, design, p);
+    if (netlist.nodes.empty()) continue;
+
+    std::optional<SpatialAssignment> assignment;
+    if (engine == SpatialEngine::kFm || engine == SpatialEngine::kFmThenIlp) {
+      FmResult fm = spatial_partition_fm(netlist, board);
+      assignment = std::move(fm.assignment);
+    }
+    if (!assignment.has_value() && engine != SpatialEngine::kFm) {
+      IlpSpatialResult ilp =
+          spatial_partition_ilp(netlist, board, /*to_optimality=*/false,
+                                ilp_params);
+      assignment = std::move(ilp.assignment);
+    }
+    if (!assignment.has_value()) {
+      result.ok = false;
+      result.failure = str_format(
+          "configuration %d (%d tasks) does not map onto %s", p,
+          netlist.num_nodes(), board.name.c_str());
+      return result;
+    }
+    result.total_cut += assignment->cut_weight;
+    result.configurations.push_back(
+        ConfigurationMapping{p, std::move(netlist), std::move(*assignment)});
+  }
+  result.ok = true;
+  return result;
+}
+
+std::string FlowResult::to_string(const graph::TaskGraph& graph) const {
+  (void)graph;
+  std::ostringstream os;
+  if (!ok) {
+    os << "spatial mapping failed: " << failure << "\n";
+    return os.str();
+  }
+  os << "spatial mapping of " << configurations.size()
+     << " configuration(s), total cut " << trim_double(total_cut) << "\n";
+  for (const ConfigurationMapping& config : configurations) {
+    os << "  config " << config.partition << " (cut "
+       << trim_double(config.assignment.cut_weight) << "):";
+    for (int n = 0; n < config.netlist.num_nodes(); ++n) {
+      os << " " << config.netlist.nodes[static_cast<std::size_t>(n)].name
+         << "->F"
+         << config.assignment.fpga_of[static_cast<std::size_t>(n)];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sparcs::spatial

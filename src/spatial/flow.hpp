@@ -1,0 +1,46 @@
+// End-to-end SPARCS-style flow: temporal partitioning first, then spatial
+// partitioning of every configuration onto the multi-FPGA board.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/solution.hpp"
+#include "spatial/fm_spatial.hpp"
+#include "spatial/ilp_spatial.hpp"
+#include "spatial/netlist.hpp"
+
+namespace sparcs::spatial {
+
+/// Which spatial engine to run per configuration.
+enum class SpatialEngine {
+  kIlp,        ///< exact, minimize cut
+  kFm,         ///< heuristic
+  kFmThenIlp,  ///< FM first; ILP only for configurations FM cannot route
+};
+
+/// Spatial mapping of one temporal partition.
+struct ConfigurationMapping {
+  int partition = 0;
+  Netlist netlist;
+  SpatialAssignment assignment;
+};
+
+struct FlowResult {
+  bool ok = false;
+  std::string failure;  ///< which configuration failed and why
+  std::vector<ConfigurationMapping> configurations;
+  double total_cut = 0.0;
+
+  [[nodiscard]] std::string to_string(const graph::TaskGraph& graph) const;
+};
+
+/// Maps every used temporal partition of `design` onto `board`.
+FlowResult map_design_to_board(const graph::TaskGraph& graph,
+                               const core::PartitionedDesign& design,
+                               const Board& board,
+                               SpatialEngine engine = SpatialEngine::kFmThenIlp,
+                               milp::SolverParams ilp_params = {});
+
+}  // namespace sparcs::spatial

@@ -1,0 +1,39 @@
+// Multi-way Fiduccia–Mattheyses-style spatial partitioning heuristic — the
+// fast baseline against which the ILP's cut quality is measured.
+//
+// Starts from a capacity-respecting greedy placement (largest node first,
+// best-gain device), then runs FM passes: repeatedly tentatively move the
+// unlocked node with the best cut-gain to its best feasible device, lock it,
+// and at the end of the pass keep the best prefix of moves. Terminates when
+// a pass yields no improvement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "spatial/netlist.hpp"
+
+namespace sparcs::spatial {
+
+struct FmOptions {
+  int max_passes = 16;
+  /// Random restarts with perturbed initial placements; best result wins.
+  int restarts = 4;
+  std::uint64_t seed = 1;
+};
+
+struct FmResult {
+  std::optional<SpatialAssignment> assignment;
+  int passes = 0;
+  int moves_applied = 0;
+  double seconds = 0.0;
+};
+
+/// Runs the FM heuristic; returns nullopt when even the initial greedy
+/// placement cannot satisfy the capacities (the heuristic never proves
+/// infeasibility). The interconnect bound is respected by the returned
+/// assignment or nullopt is returned.
+FmResult spatial_partition_fm(const Netlist& netlist, const Board& board,
+                              const FmOptions& options = {});
+
+}  // namespace sparcs::spatial

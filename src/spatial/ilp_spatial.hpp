@@ -1,0 +1,33 @@
+// ILP spatial partitioning (in the style the paper cites as [9]): assign
+// netlist nodes to FPGAs minimizing the weighted cut under per-device area
+// capacity and board interconnect capacity.
+//
+// Model: binaries X_nk (node n on FPGA k), uniqueness rows, capacity rows,
+// and per-net cut binaries c_e with the standard linearization
+//   c_e >= X_ak - X_bk  for every device k
+// (symmetric direction implied by uniqueness), objective min sum w_e c_e,
+// plus the interconnect row sum w_e c_e <= W_max.
+#pragma once
+
+#include <optional>
+
+#include "milp/types.hpp"
+#include "spatial/netlist.hpp"
+
+namespace sparcs::spatial {
+
+struct IlpSpatialResult {
+  std::optional<SpatialAssignment> assignment;
+  milp::SolveStatus status = milp::SolveStatus::kLimitReached;
+  std::int64_t nodes_explored = 0;
+  double seconds = 0.0;
+};
+
+/// Solves the spatial partitioning ILP. With `to_optimality` false the first
+/// feasible assignment under the interconnect bound is returned.
+IlpSpatialResult spatial_partition_ilp(const Netlist& netlist,
+                                       const Board& board,
+                                       bool to_optimality = true,
+                                       milp::SolverParams solver_params = {});
+
+}  // namespace sparcs::spatial

@@ -1,0 +1,144 @@
+#include "spatial/netlist.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sparcs::spatial {
+
+void Board::validate() const {
+  SPARCS_REQUIRE(num_fpgas >= 1, "board needs at least one FPGA");
+  SPARCS_REQUIRE(fpga_capacity > 0.0, "FPGA capacity must be positive");
+  SPARCS_REQUIRE(interconnect_capacity >= 0.0,
+                 "interconnect capacity must be non-negative");
+}
+
+Board wildforce_board(double fpga_capacity, double interconnect_capacity) {
+  Board board;
+  board.name = "wildforce-4";
+  board.num_fpgas = 4;
+  board.fpga_capacity = fpga_capacity;
+  board.interconnect_capacity = interconnect_capacity;
+  board.validate();
+  return board;
+}
+
+NodeId Netlist::add_node(std::string name, double area, graph::TaskId task) {
+  SPARCS_REQUIRE(area > 0.0, "node area must be positive");
+  nodes.push_back(Node{std::move(name), area, task});
+  return static_cast<NodeId>(nodes.size() - 1);
+}
+
+void Netlist::add_net(NodeId a, NodeId b, double weight) {
+  SPARCS_REQUIRE(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(),
+                 "net endpoint out of range");
+  SPARCS_REQUIRE(a != b, "self nets are not allowed");
+  SPARCS_REQUIRE(weight >= 0.0, "net weight must be non-negative");
+  for (Net& net : nets) {
+    if ((net.a == a && net.b == b) || (net.a == b && net.b == a)) {
+      net.weight += weight;
+      return;
+    }
+  }
+  nets.push_back(Net{a, b, weight});
+}
+
+double Netlist::total_area() const {
+  double total = 0.0;
+  for (const Node& node : nodes) total += node.area;
+  return total;
+}
+
+void Netlist::validate() const {
+  SPARCS_REQUIRE(!nodes.empty(), "netlist is empty");
+  for (const Net& net : nets) {
+    SPARCS_REQUIRE(net.a >= 0 && net.a < num_nodes() && net.b >= 0 &&
+                       net.b < num_nodes() && net.a != net.b,
+                   "malformed net");
+  }
+}
+
+Netlist partition_netlist(const graph::TaskGraph& graph,
+                          const core::PartitionedDesign& design, int p) {
+  Netlist netlist;
+  std::vector<NodeId> node_of(static_cast<std::size_t>(graph.num_tasks()),
+                              -1);
+  for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const core::TaskAssignment& a =
+        design.assignment[static_cast<std::size_t>(t)];
+    if (a.partition != p) continue;
+    const double area =
+        graph.task(t)
+            .design_points[static_cast<std::size_t>(a.design_point)]
+            .area;
+    node_of[static_cast<std::size_t>(t)] =
+        netlist.add_node(graph.task(t).name, area, t);
+  }
+  for (const graph::DataEdge& e : graph.edges()) {
+    const NodeId a = node_of[static_cast<std::size_t>(e.from)];
+    const NodeId b = node_of[static_cast<std::size_t>(e.to)];
+    if (a >= 0 && b >= 0 && e.data_units > 0.0) {
+      netlist.add_net(a, b, e.data_units);
+    }
+  }
+  return netlist;
+}
+
+double cut_weight(const Netlist& netlist, const std::vector<int>& fpga_of) {
+  double cut = 0.0;
+  for (const Net& net : netlist.nets) {
+    if (fpga_of[static_cast<std::size_t>(net.a)] !=
+        fpga_of[static_cast<std::size_t>(net.b)]) {
+      cut += net.weight;
+    }
+  }
+  return cut;
+}
+
+std::vector<double> fpga_areas(const Netlist& netlist, const Board& board,
+                               const std::vector<int>& fpga_of) {
+  std::vector<double> areas(static_cast<std::size_t>(board.num_fpgas), 0.0);
+  for (int n = 0; n < netlist.num_nodes(); ++n) {
+    const int k = fpga_of[static_cast<std::size_t>(n)];
+    if (k >= 0 && k < board.num_fpgas) {
+      areas[static_cast<std::size_t>(k)] +=
+          netlist.nodes[static_cast<std::size_t>(n)].area;
+    }
+  }
+  return areas;
+}
+
+bool is_valid_assignment(const Netlist& netlist, const Board& board,
+                         const std::vector<int>& fpga_of,
+                         std::string* violation) {
+  auto fail = [&](std::string why) {
+    if (violation != nullptr) *violation = std::move(why);
+    return false;
+  };
+  if (fpga_of.size() != netlist.nodes.size()) {
+    return fail("assignment arity mismatch");
+  }
+  for (int n = 0; n < netlist.num_nodes(); ++n) {
+    const int k = fpga_of[static_cast<std::size_t>(n)];
+    if (k < 0 || k >= board.num_fpgas) {
+      return fail(str_format("node %d on invalid FPGA %d", n, k));
+    }
+  }
+  const std::vector<double> areas = fpga_areas(netlist, board, fpga_of);
+  for (int k = 0; k < board.num_fpgas; ++k) {
+    if (areas[static_cast<std::size_t>(k)] > board.fpga_capacity + 1e-6) {
+      return fail(str_format("FPGA %d over capacity: %.3f > %.3f", k,
+                             areas[static_cast<std::size_t>(k)],
+                             board.fpga_capacity));
+    }
+  }
+  const double cut = cut_weight(netlist, fpga_of);
+  if (cut > board.interconnect_capacity + 1e-6) {
+    return fail(str_format("cut %.3f exceeds interconnect %.3f", cut,
+                           board.interconnect_capacity));
+  }
+  return true;
+}
+
+}  // namespace sparcs::spatial

@@ -1,0 +1,88 @@
+// Spatial partitioning inputs: the SPARCS environment maps every temporal
+// partition onto a multi-FPGA board (e.g. the four-FPGA Wildforce). This
+// module holds the board model and the per-configuration netlist extracted
+// from a partitioned design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solution.hpp"
+#include "graph/task_graph.hpp"
+
+namespace sparcs::spatial {
+
+/// Multi-FPGA board model.
+struct Board {
+  std::string name;
+  int num_fpgas = 4;
+  double fpga_capacity = 0.0;       ///< CLBs per device
+  double interconnect_capacity = 0.0;  ///< total cut data units routable
+
+  /// Throws InvalidArgumentError unless the board is well formed.
+  void validate() const;
+};
+
+/// Wildforce-like board: four user FPGAs on a crossbar.
+Board wildforce_board(double fpga_capacity = 576.0,
+                      double interconnect_capacity = 128.0);
+
+/// Node index within a Netlist.
+using NodeId = std::int32_t;
+
+/// One placeable node (a task with its chosen design point's area).
+struct Node {
+  std::string name;
+  double area = 0.0;
+  graph::TaskId task = -1;  ///< originating task, -1 for synthetic nodes
+};
+
+/// Weighted connection between two nodes (data units exchanged).
+struct Net {
+  NodeId a = -1;
+  NodeId b = -1;
+  double weight = 0.0;
+};
+
+/// A flat weighted netlist to be spread over the board's FPGAs.
+struct Netlist {
+  std::vector<Node> nodes;
+  std::vector<Net> nets;
+
+  NodeId add_node(std::string name, double area, graph::TaskId task = -1);
+  /// Adds (or merges, for an existing pair) a net between a and b.
+  void add_net(NodeId a, NodeId b, double weight);
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes.size()); }
+  [[nodiscard]] double total_area() const;
+  void validate() const;
+};
+
+/// Extracts the netlist of temporal partition `p` from a partitioned design:
+/// one node per task mapped to p (area = selected design point), one net per
+/// intra-partition data edge.
+Netlist partition_netlist(const graph::TaskGraph& graph,
+                          const core::PartitionedDesign& design, int p);
+
+/// An assignment of netlist nodes to FPGAs (0-based device index).
+struct SpatialAssignment {
+  std::vector<int> fpga_of;  ///< per node
+  double cut_weight = 0.0;   ///< total weight of nets spanning two FPGAs
+
+  [[nodiscard]] bool empty() const { return fpga_of.empty(); }
+};
+
+/// Recomputes the cut weight of `assignment` on `netlist`.
+double cut_weight(const Netlist& netlist, const std::vector<int>& fpga_of);
+
+/// Area placed on each FPGA.
+std::vector<double> fpga_areas(const Netlist& netlist, const Board& board,
+                               const std::vector<int>& fpga_of);
+
+/// Independent validity check: every node on a device, capacities and
+/// interconnect respected.
+bool is_valid_assignment(const Netlist& netlist, const Board& board,
+                         const std::vector<int>& fpga_of,
+                         std::string* violation = nullptr);
+
+}  // namespace sparcs::spatial

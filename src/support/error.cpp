@@ -1,0 +1,22 @@
+#include "support/error.hpp"
+
+#include <sstream>
+#include <string_view>
+
+namespace sparcs::detail {
+
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  if (std::string_view(kind) == "precondition") {
+    throw InvalidArgumentError(os.str());
+  }
+  throw InternalError(os.str());
+}
+
+}  // namespace sparcs::detail

@@ -1,0 +1,74 @@
+#include "support/rng.hpp"
+
+#include "support/error.hpp"
+
+namespace sparcs {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SPARCS_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw = next();
+  while (draw >= limit) {
+    draw = next();
+  }
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::uniform01() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SPARCS_REQUIRE(lo <= hi, "uniform requires lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+std::size_t Rng::index(std::size_t size) {
+  SPARCS_REQUIRE(size > 0, "index requires a non-empty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+}  // namespace sparcs

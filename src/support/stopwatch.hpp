@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used for solver time limits and benchmark traces.
+#pragma once
+
+#include <chrono>
+
+namespace sparcs {
+
+/// Monotonic stopwatch; starts running at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed wall time in seconds.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed wall time in milliseconds.
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sparcs

@@ -1,0 +1,22 @@
+// Small string/formatting helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sparcs {
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins the elements with the separator: join({"a","b"}, ", ") == "a, b".
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator);
+
+/// Formats a double trimming trailing zeros ("1.5", "42", "0.125").
+std::string trim_double(double value, int max_decimals = 6);
+
+/// True when `text` starts with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+}  // namespace sparcs

@@ -1,0 +1,88 @@
+#include "workloads/ar_filter.hpp"
+
+#include "hls/design_point_gen.hpp"
+#include "support/error.hpp"
+
+namespace sparcs::workloads {
+namespace {
+
+using graph::DesignPoint;
+
+std::vector<DesignPoint> estimated_points(const hls::Dfg& dfg) {
+  const hls::ModuleLibrary library = hls::ModuleLibrary::xc4000();
+  hls::GeneratorOptions options;
+  options.max_units_per_kind = 2;
+  options.max_points = 3;
+  return hls::generate_design_points(dfg, library, options);
+}
+
+}  // namespace
+
+hls::Dfg ar_task_a_dfg(int bitwidth) {
+  hls::Dfg dfg("ar_task_a");
+  // Lattice arm: (x*k1 + y*k2, x*k3 - y*k4).
+  const hls::OpId m1 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m1");
+  const hls::OpId m2 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m2");
+  const hls::OpId m3 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m3");
+  const hls::OpId m4 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m4");
+  const hls::OpId a1 = dfg.add_op(hls::OpKind::kAdd, bitwidth, "a1");
+  const hls::OpId s1 = dfg.add_op(hls::OpKind::kSub, bitwidth, "s1");
+  dfg.add_dep(m1, a1);
+  dfg.add_dep(m2, a1);
+  dfg.add_dep(m3, s1);
+  dfg.add_dep(m4, s1);
+  return dfg;
+}
+
+hls::Dfg ar_task_b_dfg(int bitwidth) {
+  hls::Dfg dfg("ar_task_b");
+  const hls::OpId m1 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m1");
+  const hls::OpId m2 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m2");
+  const hls::OpId a1 = dfg.add_op(hls::OpKind::kAdd, bitwidth, "a1");
+  dfg.add_dep(m1, a1);
+  dfg.add_dep(m2, a1);
+  return dfg;
+}
+
+graph::TaskGraph ar_filter_task_graph(DesignPointSource source) {
+  graph::TaskGraph g("ar_filter");
+
+  std::vector<DesignPoint> t1, t2, t3, t4, t5, t6;
+  if (source == DesignPointSource::kPinned) {
+    // Pinned Pareto points (area in CLBs, latency in ns); T1 has three
+    // alternatives, T3/T4 two, T2/T5/T6 one, mirroring the paper's setup.
+    t1 = {{"fast", 120, 200}, {"mid", 80, 300}, {"small", 50, 450}};
+    t2 = {{"only", 60, 250}};
+    t3 = {{"fast", 100, 220}, {"small", 60, 380}};
+    t4 = {{"fast", 100, 240}, {"small", 64, 400}};
+    t5 = {{"only", 70, 260}};
+    t6 = {{"only", 90, 210}};
+  } else {
+    t1 = estimated_points(ar_task_a_dfg(16));
+    t2 = estimated_points(ar_task_b_dfg(12));
+    t3 = estimated_points(ar_task_a_dfg(12));
+    t4 = estimated_points(ar_task_a_dfg(8));
+    t5 = estimated_points(ar_task_b_dfg(8));
+    t6 = estimated_points(ar_task_b_dfg(16));
+  }
+
+  const graph::TaskId id1 = g.add_task("T1", std::move(t1), /*env_in=*/8);
+  const graph::TaskId id2 = g.add_task("T2", std::move(t2), /*env_in=*/4);
+  const graph::TaskId id3 = g.add_task("T3", std::move(t3));
+  const graph::TaskId id4 = g.add_task("T4", std::move(t4));
+  const graph::TaskId id5 = g.add_task("T5", std::move(t5));
+  const graph::TaskId id6 =
+      g.add_task("T6", std::move(t6), /*env_in=*/0, /*env_out=*/8);
+
+  g.add_edge(id1, id2, 4);
+  g.add_edge(id1, id3, 4);
+  g.add_edge(id2, id4, 4);
+  g.add_edge(id3, id4, 4);
+  g.add_edge(id3, id5, 4);
+  g.add_edge(id4, id6, 4);
+  g.add_edge(id5, id6, 4);
+  g.validate();
+  return g;
+}
+
+}  // namespace sparcs::workloads

@@ -1,0 +1,79 @@
+#include "workloads/dct.hpp"
+
+#include "hls/design_point_gen.hpp"
+#include "support/strings.hpp"
+
+namespace sparcs::workloads {
+namespace {
+
+std::vector<graph::DesignPoint> estimated_points(int bitwidth) {
+  const hls::Dfg dfg = dct_vector_product_dfg(bitwidth);
+  const hls::ModuleLibrary library = hls::ModuleLibrary::xc4000();
+  hls::GeneratorOptions options;
+  options.max_units_per_kind = 4;
+  options.max_points = 3;
+  return hls::generate_design_points(dfg, library, options);
+}
+
+}  // namespace
+
+hls::Dfg dct_vector_product_dfg(int bitwidth) {
+  hls::Dfg dfg("vector_product");
+  const hls::OpId m0 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m0");
+  const hls::OpId m1 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m1");
+  const hls::OpId m2 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m2");
+  const hls::OpId m3 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m3");
+  const hls::OpId a0 = dfg.add_op(hls::OpKind::kAdd, bitwidth, "a0");
+  const hls::OpId a1 = dfg.add_op(hls::OpKind::kAdd, bitwidth, "a1");
+  const hls::OpId a2 = dfg.add_op(hls::OpKind::kAdd, bitwidth, "a2");
+  dfg.add_dep(m0, a0);
+  dfg.add_dep(m1, a0);
+  dfg.add_dep(m2, a1);
+  dfg.add_dep(m3, a1);
+  dfg.add_dep(a0, a2);
+  dfg.add_dep(a1, a2);
+  return dfg;
+}
+
+std::vector<graph::DesignPoint> dct_t1_pinned_points() {
+  return {{"4m3a", 96, 375}, {"2m1a", 80, 510}, {"1m1a", 64, 750}};
+}
+
+std::vector<graph::DesignPoint> dct_t2_pinned_points() {
+  return {{"4m3a", 112, 420}, {"2m1a", 96, 570}, {"1m1a", 84, 840}};
+}
+
+graph::TaskGraph dct_task_graph(DesignPointSource source) {
+  graph::TaskGraph g("dct4x4");
+
+  const std::vector<graph::DesignPoint> t1_points =
+      source == DesignPointSource::kPinned ? dct_t1_pinned_points()
+                                           : estimated_points(12);
+  const std::vector<graph::DesignPoint> t2_points =
+      source == DesignPointSource::kPinned ? dct_t2_pinned_points()
+                                           : estimated_points(16);
+
+  // Level 1: Y[i][k], reads a row of C and a column of X from the host.
+  graph::TaskId level1[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      level1[i][k] = g.add_task(str_format("T1_%d%d", i, k), t1_points,
+                                /*env_in=*/4.0);
+    }
+  }
+  // Level 2: Z[i][j], consumes all four Y of row i, writes one result.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const graph::TaskId z = g.add_task(str_format("T2_%d%d", i, j),
+                                         t2_points, /*env_in=*/4.0,
+                                         /*env_out=*/1.0);
+      for (int k = 0; k < 4; ++k) {
+        g.add_edge(level1[i][k], z, 1.0);
+      }
+    }
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace sparcs::workloads

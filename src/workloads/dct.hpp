@@ -1,0 +1,28 @@
+// 4x4 DCT task graph (Figure 6 of the paper): Z = C * X * C^T decomposed
+// into 32 vector-product tasks. Sixteen level-1 tasks (kind T1) compute the
+// intermediates Y[i][k] = dot(C row i, X column k); sixteen level-2 tasks
+// (kind T2) compute Z[i][j] = dot(Y row i, C^T column j), so every T2 of row
+// i consumes all four T1 results of row i.
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "hls/dfg.hpp"
+#include "workloads/ar_filter.hpp"  // DesignPointSource
+
+namespace sparcs::workloads {
+
+/// The 32-task DCT graph with the documented pinned design points
+/// (T1: {180/375, 120/510, 64/750}, T2: {216/420, 144/570, 84/840}) or
+/// estimator-generated ones.
+graph::TaskGraph dct_task_graph(
+    DesignPointSource source = DesignPointSource::kPinned);
+
+/// Four-element vector product DFG: 4 multiplications reduced by a 3-adder
+/// tree — the structure of both DCT task kinds (bitwidths differ).
+hls::Dfg dct_vector_product_dfg(int bitwidth);
+
+/// The pinned design points, exposed for the Table-2 reproduction bench.
+std::vector<graph::DesignPoint> dct_t1_pinned_points();
+std::vector<graph::DesignPoint> dct_t2_pinned_points();
+
+}  // namespace sparcs::workloads

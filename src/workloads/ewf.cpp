@@ -1,0 +1,70 @@
+#include "workloads/ewf.hpp"
+
+#include "hls/design_point_gen.hpp"
+
+namespace sparcs::workloads {
+namespace {
+
+std::vector<graph::DesignPoint> estimated_points(const hls::Dfg& dfg) {
+  const hls::ModuleLibrary library = hls::ModuleLibrary::xc4000();
+  hls::GeneratorOptions options;
+  options.max_units_per_kind = 2;
+  options.max_points = 3;
+  return hls::generate_design_points(dfg, library, options);
+}
+
+std::vector<graph::DesignPoint> pinned_points(double scale) {
+  return {{"fast", 110 * scale, 220 / scale},
+          {"small", 60 * scale, 420 / scale}};
+}
+
+}  // namespace
+
+hls::Dfg ewf_section_dfg(int bitwidth) {
+  hls::Dfg dfg("ewf_section");
+  // Two multiply-accumulate arms feeding a two-stage adder chain.
+  const hls::OpId m1 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m1");
+  const hls::OpId m2 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m2");
+  const hls::OpId m3 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m3");
+  const hls::OpId m4 = dfg.add_op(hls::OpKind::kMul, bitwidth, "m4");
+  const hls::OpId a1 = dfg.add_op(hls::OpKind::kAdd, bitwidth, "a1");
+  const hls::OpId a2 = dfg.add_op(hls::OpKind::kAdd, bitwidth, "a2");
+  const hls::OpId a3 = dfg.add_op(hls::OpKind::kAdd, bitwidth, "a3");
+  const hls::OpId a4 = dfg.add_op(hls::OpKind::kAdd, bitwidth, "a4");
+  dfg.add_dep(m1, a1);
+  dfg.add_dep(m2, a1);
+  dfg.add_dep(m3, a2);
+  dfg.add_dep(m4, a2);
+  dfg.add_dep(a1, a3);
+  dfg.add_dep(a2, a3);
+  dfg.add_dep(a3, a4);
+  return dfg;
+}
+
+graph::TaskGraph ewf_task_graph(DesignPointSource source) {
+  graph::TaskGraph g("ewf");
+  auto points = [&](int bitwidth, double scale) {
+    return source == DesignPointSource::kEstimated
+               ? estimated_points(ewf_section_dfg(bitwidth))
+               : pinned_points(scale);
+  };
+  const graph::TaskId s1 = g.add_task("S1", points(8, 1.0), /*env_in=*/8);
+  const graph::TaskId s2 = g.add_task("S2", points(8, 1.0));
+  const graph::TaskId s3 = g.add_task("S3", points(16, 1.5));
+  const graph::TaskId s4 = g.add_task("S4", points(16, 1.5));
+  const graph::TaskId out =
+      g.add_task("OUT", points(16, 1.2), /*env_in=*/0, /*env_out=*/8);
+  // Cascade with feed-forward taps (the elliptic structure couples
+  // non-adjacent sections).
+  g.add_edge(s1, s2, 4);
+  g.add_edge(s2, s3, 4);
+  g.add_edge(s3, s4, 4);
+  g.add_edge(s1, s3, 2);
+  g.add_edge(s2, s4, 2);
+  g.add_edge(s4, out, 4);
+  g.add_edge(s3, out, 2);
+  g.validate();
+  return g;
+}
+
+}  // namespace sparcs::workloads

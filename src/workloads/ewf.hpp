@@ -1,0 +1,23 @@
+// Elliptic-wave-filter-style workload: the classic fifth-order EWF from the
+// high-level synthesis benchmark suite, clustered into filter-section tasks
+// (the granularity the paper's task graphs use). Design points come from the
+// HLS estimator by default, so this workload exercises the full
+// estimate->partition pipeline rather than pinned numbers.
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "hls/dfg.hpp"
+#include "workloads/ar_filter.hpp"  // DesignPointSource
+
+namespace sparcs::workloads {
+
+/// One EWF filter section: 4 multiplications and 4 additions in the
+/// characteristic two-stage accumulation shape.
+hls::Dfg ewf_section_dfg(int bitwidth);
+
+/// Five-task EWF-style graph (four cascaded sections plus an output
+/// combiner), 8 bits in the early sections and 16 downstream.
+graph::TaskGraph ewf_task_graph(
+    DesignPointSource source = DesignPointSource::kEstimated);
+
+}  // namespace sparcs::workloads

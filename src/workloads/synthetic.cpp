@@ -1,0 +1,143 @@
+#include "workloads/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace sparcs::workloads {
+namespace {
+
+/// Pareto-consistent design points around a base (area, latency): scaling
+/// area up by f scales latency down by roughly f^0.8.
+std::vector<graph::DesignPoint> random_points(Rng& rng, int count,
+                                              double area_lo, double area_hi,
+                                              double lat_lo, double lat_hi) {
+  const double base_area = rng.uniform(area_lo, area_hi);
+  const double base_latency = rng.uniform(lat_lo, lat_hi);
+  std::vector<graph::DesignPoint> points;
+  for (int i = 0; i < count; ++i) {
+    const double f = std::pow(1.7, i);
+    graph::DesignPoint p;
+    p.module_set = "v" + std::to_string(i);
+    p.area = std::ceil(base_area * f);
+    p.latency_ns = std::ceil(base_latency / std::pow(f, 0.8));
+    points.push_back(p);
+  }
+  // Smallest area first is not required, but keeps dumps readable.
+  std::sort(points.begin(), points.end(),
+            [](const graph::DesignPoint& a, const graph::DesignPoint& b) {
+              return a.area < b.area;
+            });
+  return points;
+}
+
+}  // namespace
+
+graph::TaskGraph random_task_graph(const RandomGraphOptions& options) {
+  SPARCS_REQUIRE(options.num_tasks >= 1, "need at least one task");
+  SPARCS_REQUIRE(options.num_layers >= 1, "need at least one layer");
+  SPARCS_REQUIRE(options.num_tasks >= options.num_layers,
+                 "need at least one task per layer");
+  Rng rng(options.seed);
+  graph::TaskGraph g("random_" + std::to_string(options.seed));
+
+  // Deal tasks into layers: one guaranteed per layer, the rest random.
+  std::vector<int> layer_of(static_cast<std::size_t>(options.num_tasks));
+  for (int l = 0; l < options.num_layers; ++l) layer_of[static_cast<std::size_t>(l)] = l;
+  for (int t = options.num_layers; t < options.num_tasks; ++t) {
+    layer_of[static_cast<std::size_t>(t)] =
+        static_cast<int>(rng.uniform_int(0, options.num_layers - 1));
+  }
+  rng.shuffle(layer_of);
+
+  std::vector<std::vector<graph::TaskId>> layers(
+      static_cast<std::size_t>(options.num_layers));
+  for (int t = 0; t < options.num_tasks; ++t) {
+    const int layer = layer_of[static_cast<std::size_t>(t)];
+    const bool is_source = layer == 0;
+    const bool is_sink = layer == options.num_layers - 1;
+    const graph::TaskId id = g.add_task(
+        str_format("t%d_l%d", t, layer),
+        random_points(rng, options.num_design_points, options.min_task_area,
+                      options.max_task_area, options.min_task_latency_ns,
+                      options.max_task_latency_ns),
+        is_source ? options.env_io_units : 0.0,
+        is_sink ? options.env_io_units : 0.0);
+    layers[static_cast<std::size_t>(layer)].push_back(id);
+  }
+
+  for (int l = 0; l + 1 < options.num_layers; ++l) {
+    const auto& from = layers[static_cast<std::size_t>(l)];
+    const auto& to = layers[static_cast<std::size_t>(l + 1)];
+    if (from.empty() || to.empty()) continue;
+    for (const graph::TaskId dst : to) {
+      bool connected = false;
+      for (const graph::TaskId src : from) {
+        if (rng.chance(options.edge_probability)) {
+          g.add_edge(src, dst, options.edge_data_units);
+          connected = true;
+        }
+      }
+      if (!connected) {
+        g.add_edge(from[rng.index(from.size())], dst,
+                   options.edge_data_units);
+      }
+    }
+  }
+  g.validate();
+  return g;
+}
+
+graph::TaskGraph chain_task_graph(int length, int num_design_points,
+                                  std::uint64_t seed) {
+  SPARCS_REQUIRE(length >= 1, "chain length must be at least 1");
+  Rng rng(seed);
+  graph::TaskGraph g("chain" + std::to_string(length));
+  graph::TaskId prev = -1;
+  for (int i = 0; i < length; ++i) {
+    const graph::TaskId id =
+        g.add_task("c" + std::to_string(i),
+                   random_points(rng, num_design_points, 40, 160, 100, 600),
+                   i == 0 ? 4.0 : 0.0, i == length - 1 ? 4.0 : 0.0);
+    if (prev >= 0) g.add_edge(prev, id, 4.0);
+    prev = id;
+  }
+  g.validate();
+  return g;
+}
+
+graph::TaskGraph butterfly_task_graph(int stages, int width,
+                                      std::uint64_t seed) {
+  SPARCS_REQUIRE(stages >= 1, "need at least one stage");
+  SPARCS_REQUIRE(width >= 2 && (width & (width - 1)) == 0,
+                 "width must be a power of two");
+  SPARCS_REQUIRE(stages <= static_cast<int>(std::log2(width)) ,
+                 "stages must not exceed log2(width)");
+  Rng rng(seed);
+  graph::TaskGraph g(str_format("butterfly_s%d_w%d", stages, width));
+  std::vector<std::vector<graph::TaskId>> grid(
+      static_cast<std::size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    for (int k = 0; k < width; ++k) {
+      grid[static_cast<std::size_t>(s)].push_back(g.add_task(
+          str_format("b%d_%d", s, k), random_points(rng, 3, 40, 160, 100, 600),
+          s == 0 ? 2.0 : 0.0, s == stages - 1 ? 2.0 : 0.0));
+    }
+  }
+  for (int s = 0; s + 1 < stages; ++s) {
+    const int stride = 1 << s;
+    for (int k = 0; k < width; ++k) {
+      const graph::TaskId src = grid[static_cast<std::size_t>(s)][static_cast<std::size_t>(k)];
+      g.add_edge(src, grid[static_cast<std::size_t>(s + 1)][static_cast<std::size_t>(k)], 2.0);
+      g.add_edge(src, grid[static_cast<std::size_t>(s + 1)][static_cast<std::size_t>(k ^ stride)],
+                 2.0);
+    }
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace sparcs::workloads

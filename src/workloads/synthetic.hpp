@@ -1,0 +1,43 @@
+// Synthetic task graph generators for scaling studies, ablations and
+// property tests: seeded random layered DAGs, chains and FFT-style
+// butterflies, all with Pareto-consistent random design points.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/task_graph.hpp"
+
+namespace sparcs::workloads {
+
+struct RandomGraphOptions {
+  int num_tasks = 12;
+  int num_layers = 4;
+  /// Probability of an edge between tasks in consecutive layers.
+  double edge_probability = 0.4;
+  /// Design points per task (Pareto-consistent: larger area, lower latency).
+  int num_design_points = 3;
+  double min_task_area = 40.0;
+  double max_task_area = 160.0;
+  double min_task_latency_ns = 100.0;
+  double max_task_latency_ns = 600.0;
+  double edge_data_units = 4.0;
+  double env_io_units = 4.0;
+  std::uint64_t seed = 1;
+};
+
+/// Random layered DAG: tasks are spread over layers; edges only go from
+/// layer l to layer l+1, and every non-root layer task gets at least one
+/// predecessor so the depth is controlled.
+graph::TaskGraph random_task_graph(const RandomGraphOptions& options);
+
+/// Linear chain of `length` tasks (worst case for temporal partitioning:
+/// no intra-partition parallelism).
+graph::TaskGraph chain_task_graph(int length, int num_design_points = 3,
+                                  std::uint64_t seed = 1);
+
+/// FFT-style butterfly: `stages` stages of `width` tasks with the classic
+/// stride connections (width must be a power of two).
+graph::TaskGraph butterfly_task_graph(int stages, int width,
+                                      std::uint64_t seed = 1);
+
+}  // namespace sparcs::workloads

@@ -1,0 +1,60 @@
+// Brute-force reference solvers used by the property tests to cross-validate
+// the MILP solver and the temporal partitioning formulation on small inputs.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "milp/checker.hpp"
+#include "milp/model.hpp"
+
+namespace sparcs::testing {
+
+/// Exhaustively enumerates all assignments of the model's integer variables
+/// (continuous variables must be absent) and returns the best objective, or
+/// nullopt when infeasible. Only usable for tiny models.
+inline std::optional<double> brute_force_best_objective(
+    const milp::Model& model) {
+  const int n = model.num_vars();
+  std::vector<double> values(static_cast<std::size_t>(n), 0.0);
+  std::optional<double> best;
+  const bool minimize = model.minimize();
+
+  // Collect per-variable candidate values.
+  std::vector<std::vector<double>> domains;
+  for (milp::VarId v = 0; v < n; ++v) {
+    const milp::VarInfo& info = model.var(v);
+    std::vector<double> d;
+    for (double x = std::ceil(info.lb - 1e-9); x <= info.ub + 1e-9; x += 1.0) {
+      d.push_back(std::round(x));
+    }
+    domains.push_back(std::move(d));
+  }
+
+  std::vector<std::size_t> idx(static_cast<std::size_t>(n), 0);
+  while (true) {
+    for (int v = 0; v < n; ++v) {
+      values[static_cast<std::size_t>(v)] =
+          domains[static_cast<std::size_t>(v)][idx[static_cast<std::size_t>(v)]];
+    }
+    if (milp::check_solution(model, values).ok) {
+      const double obj = model.objective().evaluate(values);
+      if (!best || (minimize ? obj < *best : obj > *best)) best = obj;
+    }
+    // Odometer increment.
+    int v = 0;
+    while (v < n) {
+      if (++idx[static_cast<std::size_t>(v)] <
+          domains[static_cast<std::size_t>(v)].size()) {
+        break;
+      }
+      idx[static_cast<std::size_t>(v)] = 0;
+      ++v;
+    }
+    if (v == n) break;
+  }
+  return best;
+}
+
+}  // namespace sparcs::testing

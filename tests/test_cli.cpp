@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/app.hpp"
+
+namespace sparcs::cli {
+namespace {
+
+struct CliRun {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run_cli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  const CliRun r = run_cli({});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownOptionFails) {
+  const CliRun r = run_cli({"--workload", "ar", "--bogus"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("--bogus"), std::string::npos);
+}
+
+TEST(CliTest, WorkloadAndFileAreExclusive) {
+  const CliRun r = run_cli({"somefile.tg", "--workload", "ar"});
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(CliTest, RunsArWorkload) {
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("best:"), std::string::npos);
+  EXPECT_NE(r.out.find("partitions used"), std::string::npos);
+  EXPECT_NE(r.out.find("Dmax(ns)"), std::string::npos);  // trace table
+}
+
+TEST(CliTest, QuietSuppressesTrace) {
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out.find("Dmax(ns)"), std::string::npos);
+}
+
+TEST(CliTest, SimulateAddsGantt) {
+  const CliRun r = run_cli({"--workload", "ewf", "--ct", "50", "--delta",
+                            "50", "--quiet", "--simulate"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("makespan"), std::string::npos);
+}
+
+TEST(CliTest, OptimalReference) {
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "10", "--quiet",
+                            "--optimal"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("optimal reference:"), std::string::npos);
+}
+
+TEST(CliTest, ReadsGraphFileWithDevice) {
+  const std::string path = ::testing::TempDir() + "/cli_demo.tg";
+  {
+    std::ofstream file(path);
+    file << R"(graph filedemo
+device board 200 64 50
+task a 8 0
+point a fast 90 120
+point a small 50 260
+task b 0 4
+point b only 60 150
+edge a b 8
+)";
+  }
+  const CliRun r = run_cli({path, "--delta", "10", "--quiet"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("filedemo"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MissingFileFails) {
+  const CliRun r = run_cli({"/nonexistent/path.tg"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, ExportsDotAndCsv) {
+  const std::string dot = ::testing::TempDir() + "/cli_out.dot";
+  const std::string csv = ::testing::TempDir() + "/cli_out.csv";
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet",
+                            "--dot", dot, "--csv", csv});
+  EXPECT_EQ(r.exit_code, 0);
+  std::ifstream dot_in(dot), csv_in(csv);
+  EXPECT_TRUE(dot_in.good());
+  EXPECT_TRUE(csv_in.good());
+  std::string first_line;
+  std::getline(csv_in, first_line);
+  EXPECT_NE(first_line.find("N,iteration"), std::string::npos);
+  std::remove(dot.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CliTest, InfeasibleDeviceReportsExitCode1) {
+  // Memory too small for the AR filter's environment data.
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "1", "--ct", "50", "--delta", "20", "--quiet"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("no feasible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sparcs::cli

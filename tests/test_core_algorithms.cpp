@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "arch/device.hpp"
+#include "core/baselines.hpp"
+#include "core/bounds.hpp"
+#include "core/partitioner.hpp"
+#include "core/reduce_latency.hpp"
+#include "core/refine_partitions.hpp"
+#include "support/error.hpp"
+#include "workloads/ar_filter.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sparcs::core {
+namespace {
+
+arch::Device ar_device(double ct_ns) {
+  return arch::custom("ar_dev", 200, 64, ct_ns);
+}
+
+ReduceLatencyParams reduce_params(double delta) {
+  ReduceLatencyParams params;
+  params.delta = delta;
+  params.solver.node_limit = 200000;
+  params.solver.time_limit_sec = 20.0;
+  return params;
+}
+
+TEST(ReduceLatencyTest, FindsSolutionAndTightens) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = ar_device(50);
+  Trace trace;
+  const int n = 3;
+  const ReduceLatencyResult r =
+      reduce_latency(g, dev, n, max_latency(g, dev, n),
+                     min_latency(g, dev, n), reduce_params(20.0), trace);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_GT(r.achieved_latency, 0.0);
+  EXPECT_TRUE(validate_design(g, dev, *r.best).ok);
+  ASSERT_GE(trace.size(), 2u);
+  // Feasible iterations must be monotonically improving.
+  double last = 1e30;
+  for (const IterationRecord& row : trace) {
+    if (row.outcome == IterationOutcome::kFeasible) {
+      EXPECT_LT(row.achieved_latency, last);
+      last = row.achieved_latency;
+    }
+  }
+  EXPECT_DOUBLE_EQ(last, r.achieved_latency);
+}
+
+TEST(ReduceLatencyTest, InfeasibleBoundReturnsZero) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  // One partition cannot hold the whole filter (min total area 394 > 200).
+  const arch::Device dev = ar_device(50);
+  Trace trace;
+  const ReduceLatencyResult r =
+      reduce_latency(g, dev, 1, max_latency(g, dev, 1),
+                     min_latency(g, dev, 1), reduce_params(20.0), trace);
+  EXPECT_FALSE(r.best.has_value());
+  EXPECT_DOUBLE_EQ(r.achieved_latency, 0.0);
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].outcome, IterationOutcome::kInfeasible);
+}
+
+TEST(ReduceLatencyTest, DeltaControlsIterationCount) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = ar_device(50);
+  const int n = 3;
+  Trace coarse_trace, fine_trace;
+  const ReduceLatencyResult coarse =
+      reduce_latency(g, dev, n, max_latency(g, dev, n),
+                     min_latency(g, dev, n), reduce_params(500.0),
+                     coarse_trace);
+  const ReduceLatencyResult fine =
+      reduce_latency(g, dev, n, max_latency(g, dev, n),
+                     min_latency(g, dev, n), reduce_params(10.0), fine_trace);
+  ASSERT_TRUE(coarse.best.has_value());
+  ASSERT_TRUE(fine.best.has_value());
+  // A finer tolerance explores at least as much and never ends up worse.
+  EXPECT_GE(fine_trace.size(), coarse_trace.size());
+  EXPECT_LE(fine.achieved_latency, coarse.achieved_latency + 1e-9);
+}
+
+TEST(ReduceLatencyTest, RejectsNonPositiveDelta) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = ar_device(50);
+  Trace trace;
+  EXPECT_THROW(reduce_latency(g, dev, 2, 1e4, 0, reduce_params(0.0), trace),
+               InvalidArgumentError);
+}
+
+TEST(RefinePartitionsTest, SkipsInfeasibleBoundsThenSolves) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = ar_device(50);
+  RefinePartitionsParams params;
+  params.alpha = 0;
+  params.gamma = 1;
+  params.delta = 20.0;
+  params.solver.node_limit = 200000;
+  const RefinePartitionsResult r = refine_partitions_bound(g, dev, params);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_GE(r.best_num_partitions, min_area_partitions(g, dev));
+  EXPECT_TRUE(validate_design(g, dev, *r.best).ok);
+}
+
+TEST(RefinePartitionsTest, LargeReconfigStopsAtLowerBound) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  // 10 ms reconfiguration: every extra partition costs more than any
+  // possible execution-time gain, so after the first feasible N the
+  // MinLatency(N+1) >= Da rule must stop the sweep.
+  const arch::Device dev = ar_device(1e7);
+  RefinePartitionsParams params;
+  params.delta = 20.0;
+  const RefinePartitionsResult r = refine_partitions_bound(g, dev, params);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_TRUE(r.stopped_by_lower_bound);
+  // The best design sits at the first feasible partition bound (N = 2 is
+  // area-infeasible for the AR filter despite the analytic bound, so the
+  // sweep lands on 3) and never pays for an extra reconfiguration.
+  int first_feasible_n = 0;
+  for (const IterationRecord& row : r.trace) {
+    if (row.outcome == IterationOutcome::kFeasible) {
+      first_feasible_n = row.num_partitions;
+      break;
+    }
+  }
+  EXPECT_EQ(r.best_num_partitions, first_feasible_n);
+  EXPECT_EQ(r.best_num_partitions, 3);
+}
+
+TEST(RefinePartitionsTest, SmallReconfigExploresLargerN) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  // Nearly free reconfiguration: relaxing N lets faster design points fit,
+  // so the best N should exceed the minimum.
+  const arch::Device dev = ar_device(1.0);
+  RefinePartitionsParams params;
+  params.delta = 10.0;
+  params.gamma = 1;
+  const RefinePartitionsResult r = refine_partitions_bound(g, dev, params);
+  ASSERT_TRUE(r.best.has_value());
+  // N = 3 is the first feasible bound (N = 2 fails on area packing).
+  const int n_first = 3;
+  EXPECT_GT(r.best_num_partitions, n_first);
+
+  // And the achieved latency must beat the best design at N = n_first.
+  Trace trace;
+  const ReduceLatencyResult at_min = reduce_latency(
+      g, dev, n_first, max_latency(g, dev, n_first),
+      min_latency(g, dev, n_first), reduce_params(10.0), trace);
+  ASSERT_TRUE(at_min.best.has_value());
+  EXPECT_LT(r.achieved_latency, at_min.achieved_latency);
+}
+
+TEST(PartitionerTest, EndToEndReportIsConsistent) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = ar_device(50);
+  PartitionerOptions options;
+  options.delta = 20.0;
+  const PartitionerReport report = TemporalPartitioner(g, dev, options).run();
+  ASSERT_TRUE(report.feasible);
+  ASSERT_TRUE(report.best.has_value());
+  EXPECT_DOUBLE_EQ(report.achieved_latency, report.best->total_latency_ns);
+  EXPECT_EQ(report.ilp_solves, static_cast<int>(report.trace.size()));
+  EXPECT_EQ(report.n_min_lower, 2);
+  EXPECT_EQ(report.n_min_upper, 3);
+  EXPECT_DOUBLE_EQ(report.delta_used, 20.0);
+}
+
+TEST(PartitionerTest, DerivesDeltaFromFraction) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = ar_device(50);
+  PartitionerOptions options;
+  options.delta = 0.0;
+  options.delta_fraction = 0.05;
+  const PartitionerReport report = TemporalPartitioner(g, dev, options).run();
+  const double expected =
+      0.05 * max_latency(g, dev, min_area_partitions(g, dev));
+  EXPECT_DOUBLE_EQ(report.delta_used, expected);
+}
+
+// The paper's Table-1 claim: on the AR filter the iterative procedure's
+// result equals the ILP optimum. Checked across reconfiguration regimes.
+class ArOptimalityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArOptimalityTest, IterativeMatchesOptimal) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = ar_device(GetParam());
+  PartitionerOptions options;
+  options.delta = 5.0;  // tight tolerance: explore nearly everything
+  options.gamma = 1;
+  const PartitionerReport report = TemporalPartitioner(g, dev, options).run();
+  ASSERT_TRUE(report.feasible);
+
+  const OptimalResult optimal = solve_optimal_over_range(g, dev, 0, 1);
+  ASSERT_TRUE(optimal.best.has_value());
+  EXPECT_NEAR(report.achieved_latency, optimal.latency_ns, 5.0 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(ReconfigRegimes, ArOptimalityTest,
+                         ::testing::Values(1.0, 50.0, 500.0, 1e7));
+
+// Property sweep: on random small graphs the iterative result is within
+// delta of the exhaustive optimum whenever both exist.
+class RandomGraphOptimalityTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphOptimalityTest, IterativeWithinDeltaOfExhaustive) {
+  workloads::RandomGraphOptions gopts;
+  gopts.num_tasks = 6;
+  gopts.num_layers = 3;
+  gopts.num_design_points = 2;
+  gopts.seed = GetParam();
+  const graph::TaskGraph g = workloads::random_task_graph(gopts);
+  const arch::Device dev = arch::custom("d", 260, 1000, 40);
+
+  PartitionerOptions options;
+  options.delta = 25.0;
+  options.gamma = 1;
+  const PartitionerReport report = TemporalPartitioner(g, dev, options).run();
+
+  const int n_hi = max_area_partitions(g, dev) + 1;
+  const auto brute = exhaustive_optimal(g, dev, n_hi);
+  if (!report.feasible) {
+    // The iterative procedure only explores N in [Nmin+alpha, Nmax+gamma];
+    // exhaustive search over the same cap must also fail.
+    EXPECT_FALSE(brute.has_value());
+    return;
+  }
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_TRUE(validate_design(g, dev, *report.best).ok);
+  EXPECT_GE(report.achieved_latency, brute->total_latency_ns - 1e-6);
+  EXPECT_LE(report.achieved_latency,
+            brute->total_latency_ns + options.delta + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphOptimalityTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace sparcs::core

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "arch/device.hpp"
+#include "core/bounds.hpp"
+#include "support/error.hpp"
+#include "workloads/ar_filter.hpp"
+#include "workloads/dct.hpp"
+
+namespace sparcs::core {
+namespace {
+
+TEST(BoundsTest, DctPartitionBounds576) {
+  const graph::TaskGraph g = workloads::dct_task_graph();
+  const arch::Device dev = arch::custom("d", 576, 4096, 100);
+  // Total min area 16*64 + 16*84 = 2368 -> ceil(2368/576) = 5.
+  EXPECT_EQ(min_area_partitions(g, dev), 5);
+  // Total max area 16*96 + 16*112 = 3328 -> ceil(3328/576) = 6.
+  EXPECT_EQ(max_area_partitions(g, dev), 6);
+}
+
+TEST(BoundsTest, DctPartitionBounds1024) {
+  const graph::TaskGraph g = workloads::dct_task_graph();
+  const arch::Device dev = arch::custom("d", 1024, 4096, 100);
+  EXPECT_EQ(min_area_partitions(g, dev), 3);   // 2368/1024 = 2.31
+  EXPECT_EQ(max_area_partitions(g, dev), 4);   // 3328/1024 = 3.25
+}
+
+TEST(BoundsTest, ExactDivisionDoesNotRoundUp) {
+  graph::TaskGraph g("t");
+  g.add_task("a", {{"m", 100, 10}});
+  g.add_task("b", {{"m", 100, 10}});
+  const arch::Device dev = arch::custom("d", 100, 10, 0);
+  EXPECT_EQ(min_area_partitions(g, dev), 2);
+  const arch::Device dev2 = arch::custom("d", 200, 10, 0);
+  EXPECT_EQ(min_area_partitions(g, dev2), 1);
+}
+
+TEST(BoundsTest, LatencyBoundsIncludeReconfig) {
+  const graph::TaskGraph g = workloads::dct_task_graph();
+  const arch::Device dev = arch::custom("d", 576, 4096, 1000);
+  EXPECT_DOUBLE_EQ(max_latency(g, dev, 5), 25440.0 + 5 * 1000.0);
+  EXPECT_DOUBLE_EQ(min_latency(g, dev, 5), 795.0 + 5 * 1000.0);
+  // Monotone in N.
+  EXPECT_GT(min_latency(g, dev, 6), min_latency(g, dev, 5));
+}
+
+TEST(BoundsTest, MinAtMostMax) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = arch::custom("d", 200, 64, 50);
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_LE(min_latency(g, dev, n), max_latency(g, dev, n));
+  }
+  EXPECT_LE(min_area_partitions(g, dev), max_area_partitions(g, dev));
+}
+
+TEST(BoundsTest, InvalidPartitionCountRejected) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = arch::custom("d", 200, 64, 50);
+  EXPECT_THROW(max_latency(g, dev, 0), InvalidArgumentError);
+  EXPECT_THROW(min_latency(g, dev, -1), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace sparcs::core

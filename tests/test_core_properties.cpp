@@ -1,0 +1,139 @@
+// Cross-cutting property sweeps over random instances:
+//  - the four formulation variants (order form x latency form) agree on the
+//    optimal latency;
+//  - the transitive-reduction option never changes the answer;
+//  - every solver-produced design passes the independent validator AND the
+//    ILP's own memory accounting matches the validator's;
+//  - the iterative partitioner never loses to the greedy baselines.
+#include <gtest/gtest.h>
+
+#include "arch/device.hpp"
+#include "core/baselines.hpp"
+#include "core/bounds.hpp"
+#include "core/formulation.hpp"
+#include "core/partitioner.hpp"
+#include "milp/solver.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sparcs::core {
+namespace {
+
+graph::TaskGraph seeded_graph(std::uint64_t seed) {
+  workloads::RandomGraphOptions options;
+  options.num_tasks = 7;
+  options.num_layers = 3;
+  options.num_design_points = 2;
+  options.seed = seed;
+  return workloads::random_task_graph(options);
+}
+
+class FormulationVariantsTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FormulationVariantsTest, AllVariantsAgreeOnOptimum) {
+  const graph::TaskGraph g = seeded_graph(GetParam());
+  const arch::Device dev = arch::custom("d", 300, 2048, 60);
+  const int n = min_area_partitions(g, dev) + 1;
+
+  double reference = -1.0;
+  for (const auto order : {FormulationOptions::OrderForm::kPairwise,
+                           FormulationOptions::OrderForm::kAggregated}) {
+    for (const auto latency : {FormulationOptions::LatencyForm::kPathBased,
+                               FormulationOptions::LatencyForm::kFlowBased}) {
+      FormulationOptions options;
+      options.order_form = order;
+      options.latency_form = latency;
+      IlpFormulation form(g, dev, n, max_latency(g, dev, n),
+                          min_latency(g, dev, n), options);
+      form.set_latency_objective();
+      milp::SolverParams params;
+      params.use_lp_bounding = true;
+      params.objective_improvement = 1.0;
+      const milp::MilpSolution s = milp::solve(form.model(), params);
+      ASSERT_EQ(s.status, milp::SolveStatus::kOptimal)
+          << "seed " << GetParam();
+      const double latency_ns = form.decode(s.values).total_latency_ns;
+      if (reference < 0) {
+        reference = latency_ns;
+      } else {
+        EXPECT_NEAR(latency_ns, reference, 1e-6)
+            << "seed " << GetParam() << " order "
+            << static_cast<int>(order) << " latency "
+            << static_cast<int>(latency);
+      }
+    }
+  }
+}
+
+TEST_P(FormulationVariantsTest, TransitiveReductionPreservesOptimum) {
+  const graph::TaskGraph g = seeded_graph(GetParam() ^ 0x5a5a);
+  const arch::Device dev = arch::custom("d", 300, 2048, 60);
+  const int n = min_area_partitions(g, dev) + 1;
+  double results[2];
+  for (const bool reduce : {false, true}) {
+    FormulationOptions options;
+    options.reduce_order_edges = reduce;
+    IlpFormulation form(g, dev, n, max_latency(g, dev, n),
+                        min_latency(g, dev, n), options);
+    form.set_latency_objective();
+    milp::SolverParams params;
+    params.use_lp_bounding = true;
+    params.objective_improvement = 1.0;
+    const milp::MilpSolution s = milp::solve(form.model(), params);
+    ASSERT_EQ(s.status, milp::SolveStatus::kOptimal);
+    results[reduce ? 1 : 0] = form.decode(s.values).total_latency_ns;
+  }
+  EXPECT_NEAR(results[0], results[1], 1e-6);
+}
+
+TEST_P(FormulationVariantsTest, DecodedDesignsPassTheValidator) {
+  const graph::TaskGraph g = seeded_graph(GetParam() * 17 + 3);
+  // Tight-ish memory so the w-variable accounting is actually exercised.
+  const arch::Device dev = arch::custom("d", 300, 48, 60);
+  const int n = min_area_partitions(g, dev) + 1;
+  IlpFormulation form(g, dev, n, max_latency(g, dev, n),
+                      min_latency(g, dev, n));
+  const milp::MilpSolution s = milp::solve_first_feasible(form.model());
+  if (!s.has_solution()) {
+    // The validator-side exhaustive check must agree there is nothing.
+    if (g.num_tasks() <= 8) {
+      EXPECT_FALSE(exhaustive_optimal(g, dev, n).has_value())
+          << "seed " << GetParam();
+    }
+    return;
+  }
+  const PartitionedDesign design = form.decode(s.values);
+  const DesignCheck check = validate_design(g, dev, design);
+  EXPECT_TRUE(check.ok) << check.violation;
+  // The model's memory rows imply the validator's accounting partition by
+  // partition.
+  for (int p = 1; p <= n; ++p) {
+    EXPECT_LE(partition_memory(g, design, p), dev.memory_capacity + 1e-6)
+        << "partition " << p;
+  }
+}
+
+TEST_P(FormulationVariantsTest, IterativeNeverLosesToGreedy) {
+  const graph::TaskGraph g = seeded_graph(GetParam() * 31 + 11);
+  const arch::Device dev = arch::custom("d", 300, 2048, 60);
+  PartitionerOptions options;
+  options.delta = 30.0;
+  options.solver.time_limit_sec = 5.0;
+  const PartitionerReport report =
+      TemporalPartitioner(g, dev, options).run();
+  if (!report.feasible) return;
+  for (const PointPolicy policy :
+       {PointPolicy::kMinArea, PointPolicy::kMinLatency}) {
+    const auto greedy = greedy_first_fit(g, dev, policy);
+    if (greedy.has_value()) {
+      EXPECT_LE(report.achieved_latency, greedy->total_latency_ns + 1e-6)
+          << "seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormulationVariantsTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace sparcs::core

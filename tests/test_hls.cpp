@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "hls/design_point_gen.hpp"
+#include "hls/dfg.hpp"
+#include "hls/module_library.hpp"
+#include "hls/scheduler.hpp"
+#include "support/error.hpp"
+#include "workloads/dct.hpp"
+
+namespace sparcs::hls {
+namespace {
+
+Dfg two_mul_one_add() {
+  Dfg dfg("t");
+  const OpId m1 = dfg.add_op(OpKind::kMul, 8, "m1");
+  const OpId m2 = dfg.add_op(OpKind::kMul, 8, "m2");
+  const OpId a = dfg.add_op(OpKind::kAdd, 8, "a");
+  dfg.add_dep(m1, a);
+  dfg.add_dep(m2, a);
+  return dfg;
+}
+
+TEST(DfgTest, BasicConstruction) {
+  const Dfg dfg = two_mul_one_add();
+  EXPECT_EQ(dfg.num_ops(), 3);
+  EXPECT_EQ(dfg.count_of(OpKind::kMul), 2);
+  EXPECT_EQ(dfg.count_of(OpKind::kAdd), 1);
+  EXPECT_EQ(dfg.count_of(OpKind::kSub), 0);
+  EXPECT_EQ(dfg.max_bitwidth_of(OpKind::kMul), 8);
+  EXPECT_EQ(dfg.kinds_used().size(), 2u);
+}
+
+TEST(DfgTest, TopologicalOrderAndCycleDetection) {
+  Dfg dfg("t");
+  const OpId a = dfg.add_op(OpKind::kAdd, 8);
+  const OpId b = dfg.add_op(OpKind::kAdd, 8);
+  dfg.add_dep(a, b);
+  EXPECT_EQ(dfg.topological_order(), (std::vector<OpId>{a, b}));
+  dfg.add_dep(b, a);
+  EXPECT_THROW(dfg.topological_order(), InvalidArgumentError);
+}
+
+TEST(DfgTest, InvalidBitwidthRejected) {
+  Dfg dfg("t");
+  EXPECT_THROW(dfg.add_op(OpKind::kAdd, 0), InvalidArgumentError);
+  EXPECT_THROW(dfg.add_op(OpKind::kAdd, 65), InvalidArgumentError);
+}
+
+TEST(ModuleLibraryTest, AreaGrowsWithWidth) {
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  EXPECT_LT(lib.area(OpKind::kAdd, 8), lib.area(OpKind::kAdd, 16));
+  EXPECT_LT(lib.area(OpKind::kMul, 8), lib.area(OpKind::kMul, 16));
+  // Multipliers grow superlinearly relative to adders.
+  EXPECT_GT(lib.area(OpKind::kMul, 16) / lib.area(OpKind::kMul, 8),
+            lib.area(OpKind::kAdd, 16) / lib.area(OpKind::kAdd, 8));
+}
+
+TEST(ModuleLibraryTest, DelayGrowsWithWidth) {
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  EXPECT_LT(lib.delay(OpKind::kAdd, 8), lib.delay(OpKind::kAdd, 32));
+}
+
+TEST(ModuleLibraryTest, CustomModel) {
+  ModuleLibrary lib = ModuleLibrary::xc4000();
+  lib.set_model(OpKind::kAdd, {2.0, 0.0, 0.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(lib.area(OpKind::kAdd, 8), 16.0);
+  EXPECT_DOUBLE_EQ(lib.delay(OpKind::kAdd, 8), 8.0);
+}
+
+TEST(SchedulerTest, SerialWithOneFu) {
+  const Dfg dfg = two_mul_one_add();
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  Allocation alloc;
+  alloc.set(OpKind::kMul, 1);
+  alloc.set(OpKind::kAdd, 1);
+  const ScheduleResult r = list_schedule(dfg, alloc, lib, {10.0});
+  // mul(8): 8 + 3*8 = 32ns -> 4 cycles each; add(8): 4+1.5*8=16 -> 2 cycles.
+  // Serial muls: 8 cycles, then add: 10 cycles total.
+  EXPECT_EQ(r.total_cycles, 10);
+  EXPECT_DOUBLE_EQ(r.latency_ns, 100.0);
+}
+
+TEST(SchedulerTest, ParallelWithTwoFus) {
+  const Dfg dfg = two_mul_one_add();
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  Allocation alloc;
+  alloc.set(OpKind::kMul, 2);
+  alloc.set(OpKind::kAdd, 1);
+  const ScheduleResult r = list_schedule(dfg, alloc, lib, {10.0});
+  EXPECT_EQ(r.total_cycles, 6);  // muls in parallel (4) + add (2)
+}
+
+TEST(SchedulerTest, MoreFusNeverSlower) {
+  const Dfg dfg = workloads::dct_vector_product_dfg(12);
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  int previous = std::numeric_limits<int>::max();
+  for (int units = 1; units <= 4; ++units) {
+    Allocation alloc;
+    alloc.set(OpKind::kMul, units);
+    alloc.set(OpKind::kAdd, units);
+    const ScheduleResult r = list_schedule(dfg, alloc, lib, {10.0});
+    EXPECT_LE(r.total_cycles, previous);
+    previous = r.total_cycles;
+  }
+}
+
+TEST(SchedulerTest, RespectsPrecedence) {
+  const Dfg dfg = two_mul_one_add();
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  Allocation alloc;
+  alloc.set(OpKind::kMul, 2);
+  alloc.set(OpKind::kAdd, 2);
+  const ScheduleResult r = list_schedule(dfg, alloc, lib);
+  // The add must start after both muls finish.
+  const int add_start = r.start_cycle[2];
+  EXPECT_GE(add_start, r.start_cycle[0] + r.duration_cycles[0]);
+  EXPECT_GE(add_start, r.start_cycle[1] + r.duration_cycles[1]);
+}
+
+TEST(SchedulerTest, MissingFuRejected) {
+  const Dfg dfg = two_mul_one_add();
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  Allocation alloc;
+  alloc.set(OpKind::kMul, 1);  // no adder
+  EXPECT_THROW(list_schedule(dfg, alloc, lib), InvalidArgumentError);
+}
+
+TEST(SchedulerTest, AsapIsLowerBound) {
+  const Dfg dfg = workloads::dct_vector_product_dfg(12);
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  const int asap = asap_length_cycles(dfg, lib);
+  Allocation alloc;
+  alloc.set(OpKind::kMul, 4);
+  alloc.set(OpKind::kAdd, 3);
+  const ScheduleResult r = list_schedule(dfg, alloc, lib);
+  EXPECT_GE(r.total_cycles, asap);
+}
+
+TEST(ParetoTest, FilterRemovesDominated) {
+  std::vector<graph::DesignPoint> points = {
+      {"a", 100, 50}, {"b", 100, 60}, {"c", 50, 100}, {"d", 120, 50},
+      {"e", 60, 90}};
+  const auto front = pareto_filter(points);
+  // Survivors: c (50,100), e (60,90), a (100,50). b dominated by a, d by a.
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].module_set, "c");
+  EXPECT_EQ(front[1].module_set, "e");
+  EXPECT_EQ(front[2].module_set, "a");
+}
+
+TEST(DesignPointGenTest, ProducesParetoFront) {
+  const Dfg dfg = workloads::dct_vector_product_dfg(12);
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  GeneratorOptions options;
+  options.max_points = 5;
+  const auto points = generate_design_points(dfg, lib, options);
+  ASSERT_GE(points.size(), 2u);
+  ASSERT_LE(points.size(), 5u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].area, points[i - 1].area);
+    EXPECT_LT(points[i].latency_ns, points[i - 1].latency_ns);
+  }
+}
+
+TEST(DesignPointGenTest, AllocationAreaMatchesComponents) {
+  const Dfg dfg = two_mul_one_add();
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  Allocation alloc;
+  alloc.set(OpKind::kMul, 2);
+  alloc.set(OpKind::kAdd, 1);
+  const double expected = 2 * (lib.area(OpKind::kMul, 8) +
+                               lib.steering_overhead_clb(8)) +
+                          1 * (lib.area(OpKind::kAdd, 8) +
+                               lib.steering_overhead_clb(8));
+  EXPECT_DOUBLE_EQ(allocation_area(dfg, alloc, lib), expected);
+}
+
+TEST(DesignPointGenTest, AllocationToString) {
+  const Dfg dfg = two_mul_one_add();
+  Allocation alloc;
+  alloc.set(OpKind::kMul, 2);
+  alloc.set(OpKind::kAdd, 1);
+  EXPECT_EQ(alloc.to_string(dfg), "1xadd8+2xmul8");
+}
+
+}  // namespace
+}  // namespace sparcs::hls

@@ -1,0 +1,130 @@
+// Tests for the ASAP/ALAP/mobility analyses and clock-period exploration.
+#include <gtest/gtest.h>
+
+#include "hls/design_point_gen.hpp"
+#include "hls/scheduler.hpp"
+#include "support/error.hpp"
+#include "workloads/dct.hpp"
+#include "workloads/ewf.hpp"
+
+namespace sparcs::hls {
+namespace {
+
+TEST(AsapAlapTest, ChainSchedules) {
+  Dfg dfg("chain");
+  const OpId a = dfg.add_op(OpKind::kAdd, 8);   // 2 cycles at 10 ns
+  const OpId b = dfg.add_op(OpKind::kAdd, 8);
+  const OpId c = dfg.add_op(OpKind::kAdd, 8);
+  dfg.add_dep(a, b);
+  dfg.add_dep(b, c);
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  const SchedulerOptions options{10.0};
+  const auto asap = asap_schedule(dfg, lib, options);
+  EXPECT_EQ(asap, (std::vector<int>{0, 2, 4}));
+  const auto alap = alap_schedule(dfg, lib, options);
+  EXPECT_EQ(alap, asap);  // chain: zero mobility everywhere
+  const auto mob = mobility(dfg, lib, options);
+  EXPECT_EQ(mob, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(AsapAlapTest, SideBranchHasMobility) {
+  Dfg dfg("t");
+  const OpId m = dfg.add_op(OpKind::kMul, 8);   // 4 cycles
+  const OpId a = dfg.add_op(OpKind::kAdd, 8);   // 2 cycles, parallel branch
+  const OpId join = dfg.add_op(OpKind::kAdd, 8);
+  dfg.add_dep(m, join);
+  dfg.add_dep(a, join);
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  const auto mob = mobility(dfg, lib, {10.0});
+  EXPECT_EQ(mob[m], 0);    // critical
+  EXPECT_EQ(mob[a], 2);    // can slide by 2 cycles
+  EXPECT_EQ(mob[join], 0);
+}
+
+TEST(AsapAlapTest, DeadlineExtendsMobility) {
+  Dfg dfg("t");
+  dfg.add_op(OpKind::kAdd, 8);  // 2 cycles alone
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  const auto mob = mobility(dfg, lib, {10.0}, /*deadline=*/6);
+  EXPECT_EQ(mob[0], 4);
+  EXPECT_THROW(alap_schedule(dfg, lib, {10.0}, 1), InvalidArgumentError);
+}
+
+TEST(AsapAlapTest, AlapNeverBeforeAsap) {
+  const Dfg dfg = workloads::ewf_section_dfg(12);
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  const auto mob = mobility(dfg, lib, {10.0});
+  for (const int m : mob) EXPECT_GE(m, 0);
+}
+
+TEST(ClockExplorationTest, MultipleClocksWidenTheFront) {
+  const Dfg dfg = workloads::dct_vector_product_dfg(12);
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  GeneratorOptions single;
+  single.max_points = 16;
+  single.scheduler.clock_ns = 20.0;
+  const auto single_front = generate_design_points(dfg, lib, single);
+
+  GeneratorOptions multi = single;
+  multi.clock_candidates_ns = {10.0, 20.0, 44.0};
+  const auto multi_front = generate_design_points(dfg, lib, multi);
+
+  // The multi-clock front must dominate-or-match the single-clock one: for
+  // every single-clock point there is a multi-clock point at most as large
+  // and at most as slow.
+  for (const graph::DesignPoint& s : single_front) {
+    bool dominated = false;
+    for (const graph::DesignPoint& m : multi_front) {
+      if (m.area <= s.area + 1e-9 && m.latency_ns <= s.latency_ns + 1e-9) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated) << s.module_set;
+  }
+}
+
+TEST(ClockExplorationTest, ClockAnnotatedInModuleSet) {
+  const Dfg dfg = workloads::dct_vector_product_dfg(12);
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  GeneratorOptions options;
+  options.clock_candidates_ns = {10.0, 25.0};
+  options.max_points = 16;
+  const auto front = generate_design_points(dfg, lib, options);
+  bool any_annotated = false;
+  for (const graph::DesignPoint& p : front) {
+    if (p.module_set.find("@") != std::string::npos) any_annotated = true;
+  }
+  EXPECT_TRUE(any_annotated);
+}
+
+TEST(ClockExplorationTest, FasterClockCanReduceLatency) {
+  // A 4-bit adder takes 10 ns; at a 44 ns clock it wastes most of the cycle,
+  // at an 11 ns clock it doesn't.
+  Dfg dfg("t");
+  dfg.add_op(OpKind::kAdd, 4);
+  dfg.add_op(OpKind::kAdd, 4);
+  dfg.add_dep(0, 1);
+  const ModuleLibrary lib = ModuleLibrary::xc4000();
+  Allocation alloc;
+  alloc.set(OpKind::kAdd, 1);
+  const ScheduleResult slow = list_schedule(dfg, alloc, lib, {44.0});
+  const ScheduleResult fast = list_schedule(dfg, alloc, lib, {11.0});
+  EXPECT_LT(fast.latency_ns, slow.latency_ns);
+}
+
+TEST(EwfWorkloadTest, StructureAndPoints) {
+  const graph::TaskGraph g = workloads::ewf_task_graph();
+  EXPECT_EQ(g.num_tasks(), 5);
+  EXPECT_EQ(g.num_edges(), 7);
+  EXPECT_NO_THROW(g.validate());
+  for (graph::TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_GE(g.task(t).design_points.size(), 2u) << g.task(t).name;
+  }
+  const graph::TaskGraph pinned =
+      workloads::ewf_task_graph(workloads::DesignPointSource::kPinned);
+  EXPECT_NO_THROW(pinned.validate());
+}
+
+}  // namespace
+}  // namespace sparcs::hls

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/device.hpp"
+#include "core/solution.hpp"
+#include "io/csv.hpp"
+#include "io/dot.hpp"
+#include "io/table.hpp"
+#include "support/error.hpp"
+#include "workloads/ar_filter.hpp"
+
+namespace sparcs::io {
+namespace {
+
+TEST(DotTest, TaskGraphExport) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const std::string dot = to_dot_string(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("T1"), std::string::npos);
+  EXPECT_NE(dot.find("T1 -> T2"), std::string::npos);
+  EXPECT_EQ(dot.find("cluster"), std::string::npos);
+}
+
+TEST(DotTest, PartitionedExportHasClusters) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = arch::custom("d", 400, 64, 50);
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 2;
+  design.assignment = {{1, 0}, {1, 0}, {1, 0}, {2, 0}, {2, 0}, {2, 0}};
+  core::recompute_latency(g, dev, design);
+  const std::string dot = to_dot_string(g, design);
+  EXPECT_NE(dot.find("cluster_p1"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_p2"), std::string::npos);
+  EXPECT_NE(dot.find("partition 1"), std::string::npos);
+}
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable table({"a", "long_header"});
+  table.add_row({"xxxxx", "1"});
+  table.add_separator();
+  table.add_row({"y", "2"});
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("| a     | long_header |"), std::string::npos);
+  EXPECT_NE(s.find("| xxxxx | 1           |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 3u);
+}
+
+TEST(AsciiTableTest, RejectsBadRows) {
+  AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgumentError);
+  EXPECT_THROW(AsciiTable({}), InvalidArgumentError);
+}
+
+TEST(TraceRenderTest, ShowsInfeasibleAndFeasibleRows) {
+  core::Trace trace;
+  core::IterationRecord r1;
+  r1.num_partitions = 4;
+  r1.iteration = 1;
+  r1.d_max_bound = 25440 + 400;
+  r1.d_min_bound = 795 + 400;
+  r1.outcome = core::IterationOutcome::kFeasible;
+  r1.achieved_latency = 7000 + 400;
+  trace.push_back(r1);
+  core::IterationRecord r2 = r1;
+  r2.num_partitions = 5;
+  r2.iteration = 1;
+  r2.outcome = core::IterationOutcome::kInfeasible;
+  r2.achieved_latency = 0;
+  trace.push_back(r2);
+
+  const std::string s = render_trace(trace, 100.0, /*subtract_reconfig=*/true);
+  EXPECT_NE(s.find("Inf."), std::string::npos);
+  EXPECT_NE(s.find("7000"), std::string::npos);   // 7400 - 4*100
+  EXPECT_NE(s.find("25440"), std::string::npos);  // bound without N*Ct
+}
+
+TEST(CsvTest, EscapingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, TraceRoundTripShape) {
+  core::Trace trace;
+  core::IterationRecord r;
+  r.num_partitions = 3;
+  r.iteration = 2;
+  r.d_max_bound = 123.5;
+  r.d_min_bound = 50;
+  r.outcome = core::IterationOutcome::kLimit;
+  trace.push_back(r);
+  std::ostringstream os;
+  write_trace_csv(os, trace);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("N,iteration"), std::string::npos);
+  EXPECT_NE(s.find("3,2,123.5,50,limit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sparcs::io

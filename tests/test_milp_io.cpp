@@ -1,0 +1,198 @@
+// Tests for LP-format round trips (writer -> reader) and the standalone
+// presolve pass.
+#include <gtest/gtest.h>
+
+#include "brute_force.hpp"
+#include "milp/lp_reader.hpp"
+#include "milp/lp_writer.hpp"
+#include "milp/presolve.hpp"
+#include "milp/solver.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sparcs::milp {
+namespace {
+
+Model sample_model() {
+  Model m("sample");
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_integer(0, 7, "y");
+  const VarId z = m.add_continuous(-2, 12, "z");
+  m.add_constraint(2.0 * LinExpr(x) + LinExpr(y) - 0.5 * LinExpr(z) <= 6.0,
+                   "row1");
+  m.add_constraint(LinExpr(y) + LinExpr(z) >= 1.0, "row2");
+  m.add_constraint(LinExpr(x) + LinExpr(y) == 3.0, "row3");
+  m.set_objective(LinExpr(x) * 4.0 + LinExpr(y) - LinExpr(z));
+  return m;
+}
+
+TEST(LpRoundTripTest, PreservesStructure) {
+  const Model original = sample_model();
+  const Model parsed = read_lp_string(to_lp_string(original));
+  EXPECT_EQ(parsed.num_vars(), original.num_vars());
+  EXPECT_EQ(parsed.num_constraints(), original.num_constraints());
+  const ModelStats a = original.stats();
+  const ModelStats b = parsed.stats();
+  EXPECT_EQ(a.num_binary, b.num_binary);
+  EXPECT_EQ(a.num_integer, b.num_integer);
+  EXPECT_EQ(a.num_continuous, b.num_continuous);
+  EXPECT_EQ(a.num_nonzeros, b.num_nonzeros);
+}
+
+TEST(LpRoundTripTest, PreservesOptimum) {
+  const Model original = sample_model();
+  const Model parsed = read_lp_string(to_lp_string(original));
+  const MilpSolution s1 = solve_to_optimality(original);
+  const MilpSolution s2 = solve_to_optimality(parsed);
+  ASSERT_EQ(s1.status, SolveStatus::kOptimal);
+  ASSERT_EQ(s2.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s1.objective, s2.objective, 1e-6);
+}
+
+TEST(LpReaderTest, ParsesHandwrittenModel) {
+  const Model m = read_lp_string(R"(\ demo
+Maximize
+ obj: 3 a + 5 b
+Subject To
+ c1: a <= 4
+ c2: 2 b <= 12
+ c3: 3 a + 2 b <= 18
+End
+)");
+  EXPECT_EQ(m.num_vars(), 2);
+  EXPECT_EQ(m.num_constraints(), 3);
+  EXPECT_FALSE(m.minimize());
+  const MilpSolution s = solve_to_optimality(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-6);
+}
+
+TEST(LpReaderTest, ParsesBoundsSection) {
+  const Model m = read_lp_string(R"(Minimize
+ obj: x + y + z
+Subject To
+ c1: x + y + z >= 1
+Bounds
+ -3 <= x <= 9
+ y >= 2
+ z free
+End
+)");
+  const VarId x = 0, y = 1, z = 2;
+  EXPECT_DOUBLE_EQ(m.var(x).lb, -3);
+  EXPECT_DOUBLE_EQ(m.var(x).ub, 9);
+  EXPECT_DOUBLE_EQ(m.var(y).lb, 2);
+  EXPECT_TRUE(std::isinf(m.var(z).lb));
+  EXPECT_TRUE(std::isinf(m.var(z).ub));
+}
+
+TEST(LpReaderTest, ParsesIntegralitySections) {
+  const Model m = read_lp_string(R"(Minimize
+ obj: x + y
+Subject To
+ c1: x + y >= 1
+General
+ y
+Binary
+ x
+End
+)");
+  EXPECT_EQ(m.var(0).type, VarType::kBinary);
+  EXPECT_EQ(m.var(1).type, VarType::kInteger);
+}
+
+TEST(LpReaderTest, NegativeCoefficientsAndImplicitOnes) {
+  const Model m = read_lp_string(R"(Minimize
+ obj: - x + 2.5 y
+Subject To
+ c1: x - y <= 3
+End
+)");
+  ASSERT_EQ(m.objective().terms().size(), 2u);
+  EXPECT_DOUBLE_EQ(m.objective().terms()[0].coef, -1.0);
+  EXPECT_DOUBLE_EQ(m.objective().terms()[1].coef, 2.5);
+  EXPECT_DOUBLE_EQ(m.constraint(0).terms[1].coef, -1.0);
+}
+
+TEST(LpReaderTest, RejectsGarbage) {
+  EXPECT_THROW(read_lp_string(""), InvalidArgumentError);
+  EXPECT_THROW(read_lp_string("hello world"), InvalidArgumentError);
+}
+
+TEST(PresolveTest, FixesAndSubstitutes) {
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  const VarId z = m.add_binary("z");
+  m.add_constraint(LinExpr(x) >= 1.0, "force_x");           // fixes x = 1
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= 1.0, "pair"); // then y = 0
+  m.add_constraint(LinExpr(y) + LinExpr(z) <= 1.0, "free"); // z stays free
+  const PresolveResult r = presolve(m);
+  ASSERT_TRUE(r.model.has_value());
+  EXPECT_GE(r.stats.vars_fixed, 2);
+  EXPECT_DOUBLE_EQ(r.model->var(x).lb, 1.0);
+  EXPECT_DOUBLE_EQ(r.model->var(y).ub, 0.0);
+  EXPECT_DOUBLE_EQ(r.model->var(z).ub, 1.0);
+  EXPECT_FALSE(r.model->var(z).lb == r.model->var(z).ub);
+  // The two forcing rows become redundant after substitution.
+  EXPECT_GE(r.stats.rows_dropped, 2);
+}
+
+TEST(PresolveTest, DetectsInfeasibility) {
+  Model m;
+  const VarId x = m.add_binary("x");
+  m.add_constraint(LinExpr(x) >= 1.0, "a");
+  m.add_constraint(LinExpr(x) <= 0.0, "b");
+  const PresolveResult r = presolve(m);
+  EXPECT_TRUE(r.stats.infeasible);
+  EXPECT_FALSE(r.model.has_value());
+}
+
+TEST(PresolveTest, PreservesOptimumOnRandomModels) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    Model m;
+    for (int i = 0; i < 8; ++i) m.add_binary("x" + std::to_string(i));
+    for (int r = 0; r < 5; ++r) {
+      LinExpr lhs;
+      for (VarId v = 0; v < 8; ++v) {
+        lhs += static_cast<double>(rng.uniform_int(-3, 5)) * LinExpr(v);
+      }
+      m.add_constraint(lhs, Sense::kLessEqual,
+                       static_cast<double>(rng.uniform_int(0, 9)),
+                       "r" + std::to_string(r));
+    }
+    LinExpr obj;
+    for (VarId v = 0; v < 8; ++v) {
+      obj += static_cast<double>(rng.uniform_int(-4, 6)) * LinExpr(v);
+    }
+    m.set_objective(obj);
+
+    const auto direct = testing::brute_force_best_objective(m);
+    const PresolveResult r = presolve(m);
+    if (r.stats.infeasible) {
+      EXPECT_FALSE(direct.has_value()) << "seed " << seed;
+      continue;
+    }
+    const auto reduced = testing::brute_force_best_objective(*r.model);
+    ASSERT_EQ(direct.has_value(), reduced.has_value()) << "seed " << seed;
+    if (direct) {
+      EXPECT_NEAR(*direct, *reduced, 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+TEST(PresolveTest, ReducedModelRoundTripsThroughLpFormat) {
+  const Model m = sample_model();
+  const PresolveResult r = presolve(m);
+  ASSERT_TRUE(r.model.has_value());
+  const Model parsed = read_lp_string(to_lp_string(*r.model));
+  const MilpSolution s1 = solve_to_optimality(m);
+  const MilpSolution s2 = solve_to_optimality(parsed);
+  ASSERT_EQ(s1.status, SolveStatus::kOptimal);
+  ASSERT_EQ(s2.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s1.objective, s2.objective, 1e-6);
+}
+
+}  // namespace
+}  // namespace sparcs::milp

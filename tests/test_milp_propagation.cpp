@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "milp/compiled.hpp"
+#include "milp/propagation.hpp"
+
+namespace sparcs::milp {
+namespace {
+
+TEST(PropagationTest, UnitPropagationOnEquality) {
+  // x + y = 1 with x fixed to 1 forces y = 0.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint(LinExpr(x) + LinExpr(y) == 1.0, "uniq");
+  m.tighten_bounds(x, 1, 1);
+  CompiledModel compiled(m);
+  Domains domains(compiled);
+  Propagator prop(compiled, 1e-7, 50);
+  PropagationStats st;
+  ASSERT_TRUE(prop.propagate(domains, {}, st));
+  EXPECT_DOUBLE_EQ(domains.ub(y), 0.0);
+  EXPECT_TRUE(domains.is_fixed(y));
+}
+
+TEST(PropagationTest, ConflictOnOverCommittedKnapsack) {
+  // 5x + 5y <= 4 with both fixed to 1 is a conflict.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint(5.0 * LinExpr(x) + 5.0 * LinExpr(y) <= 4.0, "cap");
+  m.tighten_bounds(x, 1, 1);
+  m.tighten_bounds(y, 1, 1);
+  CompiledModel compiled(m);
+  Domains domains(compiled);
+  Propagator prop(compiled, 1e-7, 50);
+  PropagationStats st;
+  EXPECT_FALSE(prop.propagate(domains, {}, st));
+  EXPECT_EQ(st.conflicts, 1);
+}
+
+TEST(PropagationTest, KnapsackFixesImpossibleItem) {
+  // 5x + 3y <= 4: x can never be 1.
+  Model m;
+  const VarId x = m.add_binary("x");
+  m.add_binary("y");
+  m.add_constraint(5.0 * LinExpr(x) + 3.0 * LinExpr(VarId{1}) <= 4.0, "cap");
+  CompiledModel compiled(m);
+  Domains domains(compiled);
+  Propagator prop(compiled, 1e-7, 50);
+  PropagationStats st;
+  ASSERT_TRUE(prop.propagate(domains, {}, st));
+  EXPECT_DOUBLE_EQ(domains.ub(x), 0.0);
+}
+
+TEST(PropagationTest, ContinuousBoundTightening) {
+  // d >= 3x with x = 1 and d <= 10 gives d in [3, 10].
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId d = m.add_continuous(0, 10, "d");
+  m.add_constraint(3.0 * LinExpr(x) - LinExpr(d) <= 0.0, "def");
+  m.tighten_bounds(x, 1, 1);
+  CompiledModel compiled(m);
+  Domains domains(compiled);
+  Propagator prop(compiled, 1e-7, 50);
+  PropagationStats st;
+  ASSERT_TRUE(prop.propagate(domains, {}, st));
+  EXPECT_NEAR(domains.lb(d), 3.0, 1e-9);
+}
+
+TEST(PropagationTest, ChainedPropagationAcrossConstraints) {
+  // x=1 -> y>=2 (row1), y>=2 -> z<=1 (row2 via z + y <= 3).
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_integer(0, 5, "y");
+  const VarId z = m.add_integer(0, 5, "z");
+  m.add_constraint(2.0 * LinExpr(x) - LinExpr(y) <= 0.0, "row1");
+  m.add_constraint(LinExpr(z) + LinExpr(y) <= 3.0, "row2");
+  m.tighten_bounds(x, 1, 1);
+  CompiledModel compiled(m);
+  Domains domains(compiled);
+  Propagator prop(compiled, 1e-7, 50);
+  PropagationStats st;
+  ASSERT_TRUE(prop.propagate(domains, {}, st));
+  EXPECT_DOUBLE_EQ(domains.lb(y), 2.0);
+  EXPECT_DOUBLE_EQ(domains.ub(z), 1.0);
+}
+
+TEST(PropagationTest, IntegerRounding) {
+  // 2y >= 3 forces integer y >= 2.
+  Model m;
+  const VarId y = m.add_integer(0, 5, "y");
+  m.add_constraint(2.0 * LinExpr(y) >= 3.0, "r");
+  CompiledModel compiled(m);
+  Domains domains(compiled);
+  Propagator prop(compiled, 1e-7, 50);
+  PropagationStats st;
+  ASSERT_TRUE(prop.propagate(domains, {}, st));
+  EXPECT_DOUBLE_EQ(domains.lb(y), 2.0);
+}
+
+TEST(PropagationTest, InfiniteBoundsHandled) {
+  // x free continuous, x >= 5 via row; no crash, bound set.
+  Model m;
+  const VarId x = m.add_continuous(-kInfinity, kInfinity, "x");
+  const VarId y = m.add_continuous(-kInfinity, kInfinity, "y");
+  m.add_constraint(LinExpr(x) >= 5.0, "r1");
+  m.add_constraint(LinExpr(x) + LinExpr(y) <= 7.0, "r2");
+  CompiledModel compiled(m);
+  Domains domains(compiled);
+  Propagator prop(compiled, 1e-7, 50);
+  PropagationStats st;
+  ASSERT_TRUE(prop.propagate(domains, {}, st));
+  EXPECT_DOUBLE_EQ(domains.lb(x), 5.0);
+  EXPECT_DOUBLE_EQ(domains.ub(y), 2.0);
+}
+
+TEST(PropagationTest, RollbackRestoresBounds) {
+  Model m;
+  const VarId x = m.add_binary("x");
+  CompiledModel compiled(m);
+  Domains domains(compiled);
+  const std::size_t mark = domains.checkpoint();
+  domains.set_lb(x, 1.0);
+  EXPECT_TRUE(domains.is_fixed(x));
+  domains.rollback(mark);
+  EXPECT_DOUBLE_EQ(domains.lb(x), 0.0);
+  EXPECT_FALSE(domains.is_fixed(x));
+}
+
+TEST(PropagationTest, SetBoundsIgnoreNonImprovements) {
+  Model m;
+  const VarId x = m.add_integer(2, 8, "x");
+  CompiledModel compiled(m);
+  Domains domains(compiled);
+  EXPECT_FALSE(domains.set_lb(x, 1.0));
+  EXPECT_FALSE(domains.set_ub(x, 9.0));
+  EXPECT_TRUE(domains.set_lb(x, 3.0));
+  EXPECT_TRUE(domains.set_ub(x, 7.0));
+}
+
+}  // namespace
+}  // namespace sparcs::milp

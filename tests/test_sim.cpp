@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "arch/device.hpp"
+#include "core/partitioner.hpp"
+#include "sim/executor.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "workloads/ar_filter.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sparcs::sim {
+namespace {
+
+std::vector<graph::DesignPoint> pt(double area, double latency) {
+  return {{"m", area, latency}};
+}
+
+TEST(SimulatorTest, SingleTaskMakespan) {
+  graph::TaskGraph g("t");
+  g.add_task("a", pt(10, 100));
+  const arch::Device dev = arch::custom("d", 100, 100, 25);
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 1;
+  design.assignment = {{1, 0}};
+  core::recompute_latency(g, dev, design);
+  const SimulationResult r = simulate(g, dev, design);
+  EXPECT_DOUBLE_EQ(r.makespan_ns, 125.0);
+  EXPECT_DOUBLE_EQ(r.total_reconfig_ns, 25.0);
+  EXPECT_EQ(r.partitions.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.tasks[0].start_ns, 25.0);
+  EXPECT_DOUBLE_EQ(r.tasks[0].finish_ns, 125.0);
+}
+
+TEST(SimulatorTest, ChainsWithinPartitionSerialize) {
+  graph::TaskGraph g("t");
+  const auto a = g.add_task("a", pt(10, 100));
+  const auto b = g.add_task("b", pt(10, 150));
+  g.add_edge(a, b, 1);
+  const arch::Device dev = arch::custom("d", 100, 100, 10);
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 1;
+  design.assignment = {{1, 0}, {1, 0}};
+  core::recompute_latency(g, dev, design);
+  const SimulationResult r = simulate(g, dev, design);
+  EXPECT_DOUBLE_EQ(r.tasks[1].start_ns, r.tasks[0].finish_ns);
+  EXPECT_DOUBLE_EQ(r.makespan_ns, 10 + 100 + 150);
+}
+
+TEST(SimulatorTest, ParallelTasksOverlap) {
+  graph::TaskGraph g("t");
+  g.add_task("a", pt(10, 100));
+  g.add_task("b", pt(10, 150));
+  const arch::Device dev = arch::custom("d", 100, 100, 10);
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 1;
+  design.assignment = {{1, 0}, {1, 0}};
+  core::recompute_latency(g, dev, design);
+  const SimulationResult r = simulate(g, dev, design);
+  EXPECT_DOUBLE_EQ(r.tasks[0].start_ns, r.tasks[1].start_ns);
+  EXPECT_DOUBLE_EQ(r.makespan_ns, 10 + 150);
+}
+
+TEST(SimulatorTest, CrossPartitionEdgesDoNotChain) {
+  graph::TaskGraph g("t");
+  const auto a = g.add_task("a", pt(10, 100));
+  const auto b = g.add_task("b", pt(10, 150));
+  g.add_edge(a, b, 1);
+  const arch::Device dev = arch::custom("d", 100, 100, 10);
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 2;
+  design.assignment = {{1, 0}, {2, 0}};
+  core::recompute_latency(g, dev, design);
+  const SimulationResult r = simulate(g, dev, design);
+  // Partition 2 starts right after partition 1 retires plus reconfig.
+  EXPECT_DOUBLE_EQ(r.tasks[1].start_ns, 10 + 100 + 10);
+  EXPECT_DOUBLE_EQ(r.makespan_ns, design.total_latency_ns);
+}
+
+TEST(SimulatorTest, MakespanMatchesAnalyticModelOnContiguousDesigns) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = arch::custom("d", 200, 64, 50);
+  core::PartitionerOptions options;
+  options.delta = 20.0;
+  const core::PartitionerReport report =
+      core::TemporalPartitioner(g, dev, options).run();
+  ASSERT_TRUE(report.feasible);
+  const SimulationResult r = simulate(g, dev, *report.best);
+  EXPECT_NEAR(r.makespan_ns, report.best->total_latency_ns, 1e-6);
+  EXPECT_NEAR(r.makespan_ns, report.achieved_latency, 1e-6);
+}
+
+TEST(SimulatorTest, GapPartitionsCostLessThanAnalyticEta) {
+  // A design that skips partition 2 entirely: the simulator loads two
+  // configurations while the analytic model charges eta = 3 of them.
+  graph::TaskGraph g("t");
+  const auto a = g.add_task("a", pt(10, 100));
+  const auto b = g.add_task("b", pt(10, 100));
+  g.add_edge(a, b, 1);
+  const arch::Device dev = arch::custom("d", 100, 100, 1000);
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 3;
+  design.assignment = {{1, 0}, {3, 0}};
+  core::recompute_latency(g, dev, design);
+  const SimulationResult r = simulate(g, dev, design);
+  EXPECT_DOUBLE_EQ(design.total_latency_ns, 200 + 3 * 1000);
+  EXPECT_DOUBLE_EQ(r.makespan_ns, 200 + 2 * 1000);
+  EXPECT_LT(r.makespan_ns, design.total_latency_ns);
+}
+
+TEST(SimulatorTest, PeakMemoryWithinDeviceBudget) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = arch::custom("d", 200, 64, 50);
+  core::PartitionerOptions options;
+  options.delta = 20.0;
+  const core::PartitionerReport report =
+      core::TemporalPartitioner(g, dev, options).run();
+  ASSERT_TRUE(report.feasible);
+  const SimulationResult r = simulate(g, dev, *report.best);
+  EXPECT_LE(r.peak_memory, dev.memory_capacity + 1e-9);
+}
+
+TEST(SimulatorTest, RejectsInvalidDesign) {
+  graph::TaskGraph g("t");
+  const auto a = g.add_task("a", pt(10, 100));
+  const auto b = g.add_task("b", pt(10, 100));
+  g.add_edge(a, b, 1);
+  const arch::Device dev = arch::custom("d", 100, 100, 10);
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 2;
+  design.assignment = {{2, 0}, {1, 0}};  // order violation
+  core::recompute_latency(g, dev, design);
+  EXPECT_THROW(simulate(g, dev, design), InvalidArgumentError);
+}
+
+TEST(SimulatorTest, ToStringListsConfigurations) {
+  graph::TaskGraph g("t");
+  g.add_task("alpha", pt(10, 100));
+  const arch::Device dev = arch::custom("d", 100, 100, 10);
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 1;
+  design.assignment = {{1, 0}};
+  core::recompute_latency(g, dev, design);
+  const std::string s = simulate(g, dev, design).to_string(g);
+  EXPECT_NE(s.find("config 1"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+}
+
+TEST(PrefetchTest, HidesReconfigWhenExecutionDominates) {
+  // Two partitions, 100 ns executions, 40 ns reconfig: with prefetch the
+  // second load hides under the first execution.
+  graph::TaskGraph g("t");
+  const auto a = g.add_task("a", pt(10, 100));
+  const auto b = g.add_task("b", pt(10, 100));
+  g.add_edge(a, b, 1);
+  const arch::Device dev = arch::custom("d", 15, 100, 40);
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 2;
+  design.assignment = {{1, 0}, {2, 0}};
+  core::recompute_latency(g, dev, design);
+
+  SimulationOptions plain;
+  SimulationOptions prefetch;
+  prefetch.prefetch_configurations = true;
+  const double t_plain = simulate(g, dev, design, plain).makespan_ns;
+  const double t_prefetch = simulate(g, dev, design, prefetch).makespan_ns;
+  EXPECT_DOUBLE_EQ(t_plain, 40 + 100 + 40 + 100);
+  EXPECT_DOUBLE_EQ(t_prefetch, 40 + 100 + 100);  // 2nd load fully hidden
+}
+
+TEST(PrefetchTest, LoaderSerializesWhenReconfigDominates) {
+  // 100 ns reconfig, 10 ns executions: loads serialize on the loader, so
+  // prefetch only pipelines the executions into the load train.
+  graph::TaskGraph g("t");
+  const auto a = g.add_task("a", pt(10, 10));
+  const auto b = g.add_task("b", pt(10, 10));
+  const auto c = g.add_task("c", pt(10, 10));
+  g.add_edge(a, b, 1);
+  g.add_edge(b, c, 1);
+  const arch::Device dev = arch::custom("d", 15, 100, 100);
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 3;
+  design.assignment = {{1, 0}, {2, 0}, {3, 0}};
+  core::recompute_latency(g, dev, design);
+
+  SimulationOptions prefetch;
+  prefetch.prefetch_configurations = true;
+  const SimulationResult r = simulate(g, dev, design, prefetch);
+  // Loads finish at 100/200/300; executions at 110/210/310.
+  EXPECT_DOUBLE_EQ(r.makespan_ns, 310.0);
+}
+
+TEST(PrefetchTest, NeverSlowerThanPlainExecution) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = arch::custom("d", 200, 64, 500);
+  core::PartitionerOptions options;
+  options.delta = 50.0;
+  const core::PartitionerReport report =
+      core::TemporalPartitioner(g, dev, options).run();
+  ASSERT_TRUE(report.feasible);
+  SimulationOptions prefetch;
+  prefetch.prefetch_configurations = true;
+  EXPECT_LE(simulate(g, dev, *report.best, prefetch).makespan_ns,
+            simulate(g, dev, *report.best).makespan_ns + 1e-9);
+}
+
+TEST(PrefetchTest, ClosedFormMatchesSimulation) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = arch::custom("d", 200, 64, 120);
+  core::PartitionerOptions options;
+  options.delta = 50.0;
+  const core::PartitionerReport report =
+      core::TemporalPartitioner(g, dev, options).run();
+  ASSERT_TRUE(report.feasible);
+  for (const bool prefetch : {false, true}) {
+    SimulationOptions sim_options;
+    sim_options.prefetch_configurations = prefetch;
+    EXPECT_NEAR(simulate(g, dev, *report.best, sim_options).makespan_ns,
+                estimated_makespan(g, dev, *report.best, prefetch), 1e-9)
+        << "prefetch=" << prefetch;
+  }
+}
+
+// Property: on random graphs, for any design the partitioner emits, the
+// simulated makespan equals the analytic latency (designs are contiguous by
+// construction of the solver's preference for earlier partitions).
+class SimulatorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorPropertyTest, SimulationNeverExceedsAnalyticModel) {
+  workloads::RandomGraphOptions gopts;
+  gopts.num_tasks = 10;
+  gopts.num_layers = 4;
+  gopts.seed = GetParam();
+  const graph::TaskGraph g = workloads::random_task_graph(gopts);
+  const arch::Device dev = arch::custom("d", 400, 4096, 100);
+  core::PartitionerOptions options;
+  // Coarse search: the property under test concerns whatever design comes
+  // back, not its quality, so keep the probe budgets small.
+  options.delta = 400.0;
+  options.gamma = 0;
+  options.solver.time_limit_sec = 1.0;
+  const core::PartitionerReport report =
+      core::TemporalPartitioner(g, dev, options).run();
+  if (!report.feasible) GTEST_SKIP() << "instance infeasible";
+  const SimulationResult r = simulate(g, dev, *report.best);
+  EXPECT_LE(r.makespan_ns, report.best->total_latency_ns + 1e-6);
+  EXPECT_LE(r.peak_memory, dev.memory_capacity + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace sparcs::sim

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/device.hpp"
+#include "core/partitioner.hpp"
+#include "spatial/flow.hpp"
+#include "spatial/fm_spatial.hpp"
+#include "spatial/ilp_spatial.hpp"
+#include "spatial/netlist.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "workloads/ar_filter.hpp"
+
+namespace sparcs::spatial {
+namespace {
+
+/// Two tight 2-cliques joined by one light net: the optimal 2-FPGA cut is
+/// the light net.
+Netlist two_clusters() {
+  Netlist nl;
+  const NodeId a0 = nl.add_node("a0", 40);
+  const NodeId a1 = nl.add_node("a1", 40);
+  const NodeId b0 = nl.add_node("b0", 40);
+  const NodeId b1 = nl.add_node("b1", 40);
+  nl.add_net(a0, a1, 10);
+  nl.add_net(b0, b1, 10);
+  nl.add_net(a1, b0, 1);
+  return nl;
+}
+
+Board two_fpgas(double capacity, double wires) {
+  Board board;
+  board.name = "b2";
+  board.num_fpgas = 2;
+  board.fpga_capacity = capacity;
+  board.interconnect_capacity = wires;
+  return board;
+}
+
+TEST(NetlistTest, ConstructionAndMerging) {
+  Netlist nl = two_clusters();
+  EXPECT_EQ(nl.num_nodes(), 4);
+  EXPECT_EQ(nl.nets.size(), 3u);
+  nl.add_net(0, 1, 5);  // merges into the existing a0-a1 net
+  EXPECT_EQ(nl.nets.size(), 3u);
+  EXPECT_DOUBLE_EQ(nl.nets[0].weight, 15.0);
+  EXPECT_DOUBLE_EQ(nl.total_area(), 160.0);
+  EXPECT_THROW(nl.add_net(0, 0, 1), InvalidArgumentError);
+}
+
+TEST(NetlistTest, CutWeightAndAreas) {
+  const Netlist nl = two_clusters();
+  const Board board = two_fpgas(100, 100);
+  const std::vector<int> split{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(cut_weight(nl, split), 1.0);
+  const auto areas = fpga_areas(nl, board, split);
+  EXPECT_DOUBLE_EQ(areas[0], 80.0);
+  EXPECT_DOUBLE_EQ(areas[1], 80.0);
+  const std::vector<int> bad_split{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(cut_weight(nl, bad_split), 21.0);
+}
+
+TEST(NetlistTest, ValidityChecks) {
+  const Netlist nl = two_clusters();
+  std::string why;
+  EXPECT_TRUE(is_valid_assignment(nl, two_fpgas(100, 10), {0, 0, 1, 1}, &why));
+  // Over capacity.
+  EXPECT_FALSE(is_valid_assignment(nl, two_fpgas(100, 10), {0, 0, 0, 1}, &why));
+  EXPECT_NE(why.find("capacity"), std::string::npos);
+  // Cut over the interconnect budget.
+  EXPECT_FALSE(
+      is_valid_assignment(nl, two_fpgas(100, 0.5), {0, 0, 1, 1}, &why));
+  EXPECT_NE(why.find("interconnect"), std::string::npos);
+  // Bad device index.
+  EXPECT_FALSE(is_valid_assignment(nl, two_fpgas(100, 10), {0, 0, 1, 7}, &why));
+}
+
+TEST(IlpSpatialTest, FindsMinimumCut) {
+  const Netlist nl = two_clusters();
+  const IlpSpatialResult r = spatial_partition_ilp(nl, two_fpgas(100, 100));
+  ASSERT_TRUE(r.assignment.has_value());
+  EXPECT_EQ(r.status, milp::SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(r.assignment->cut_weight, 1.0);
+  std::string why;
+  EXPECT_TRUE(is_valid_assignment(nl, two_fpgas(100, 100),
+                                  r.assignment->fpga_of, &why))
+      << why;
+}
+
+TEST(IlpSpatialTest, InterconnectBoundMakesInfeasible) {
+  // Force the heavy nets into the cut: each FPGA holds exactly one node of
+  // each clique, so the min cut is 20; with capacity for only 1 node per
+  // device and wires < 20 the instance is infeasible.
+  const Netlist nl = two_clusters();
+  Board board = two_fpgas(40, 100);
+  board.num_fpgas = 4;
+  const IlpSpatialResult feasible = spatial_partition_ilp(nl, board);
+  ASSERT_TRUE(feasible.assignment.has_value());
+  EXPECT_DOUBLE_EQ(feasible.assignment->cut_weight, 21.0);
+
+  board.interconnect_capacity = 10.0;
+  const IlpSpatialResult infeasible = spatial_partition_ilp(nl, board);
+  EXPECT_FALSE(infeasible.assignment.has_value());
+  EXPECT_EQ(infeasible.status, milp::SolveStatus::kInfeasible);
+}
+
+TEST(IlpSpatialTest, CapacityInfeasibilityDetected) {
+  Netlist nl;
+  nl.add_node("big", 90);
+  const IlpSpatialResult r = spatial_partition_ilp(nl, two_fpgas(50, 10));
+  EXPECT_FALSE(r.assignment.has_value());
+}
+
+TEST(FmSpatialTest, MatchesIlpOnTwoClusters) {
+  const Netlist nl = two_clusters();
+  const FmResult r = spatial_partition_fm(nl, two_fpgas(100, 100));
+  ASSERT_TRUE(r.assignment.has_value());
+  EXPECT_DOUBLE_EQ(r.assignment->cut_weight, 1.0);
+}
+
+TEST(FmSpatialTest, RespectsCapacities) {
+  Rng rng(3);
+  Netlist nl;
+  for (int i = 0; i < 12; ++i) {
+    nl.add_node("n" + std::to_string(i), rng.uniform(10, 40));
+  }
+  for (int i = 0; i < 24; ++i) {
+    const auto a = static_cast<NodeId>(rng.index(12));
+    const auto b = static_cast<NodeId>(rng.index(12));
+    if (a != b) nl.add_net(a, b, rng.uniform(1, 5));
+  }
+  Board board;
+  board.name = "b4";
+  board.num_fpgas = 4;
+  board.fpga_capacity = 120;
+  board.interconnect_capacity = 1e9;
+  const FmResult r = spatial_partition_fm(nl, board);
+  ASSERT_TRUE(r.assignment.has_value());
+  std::string why;
+  EXPECT_TRUE(is_valid_assignment(nl, board, r.assignment->fpga_of, &why))
+      << why;
+}
+
+TEST(FmSpatialTest, IlpNeverWorseThanFm) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    Netlist nl;
+    for (int i = 0; i < 10; ++i) {
+      nl.add_node("n" + std::to_string(i), rng.uniform(15, 35));
+    }
+    for (int i = 0; i < 18; ++i) {
+      const auto a = static_cast<NodeId>(rng.index(10));
+      const auto b = static_cast<NodeId>(rng.index(10));
+      if (a != b) nl.add_net(a, b, std::floor(rng.uniform(1, 6)));
+    }
+    Board board = two_fpgas(200, 1e9);
+    const FmResult fm = spatial_partition_fm(nl, board);
+    milp::SolverParams params;
+    params.time_limit_sec = 10.0;
+    const IlpSpatialResult ilp = spatial_partition_ilp(nl, board, true, params);
+    ASSERT_TRUE(fm.assignment.has_value()) << "seed " << seed;
+    ASSERT_TRUE(ilp.assignment.has_value()) << "seed " << seed;
+    if (ilp.status == milp::SolveStatus::kOptimal) {
+      EXPECT_LE(ilp.assignment->cut_weight,
+                fm.assignment->cut_weight + 1e-9)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(FlowTest, PartitionNetlistExtraction) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 2;
+  design.assignment = {{1, 0}, {1, 0}, {1, 0}, {2, 0}, {2, 0}, {2, 0}};
+  const Netlist p1 = partition_netlist(g, design, 1);
+  EXPECT_EQ(p1.num_nodes(), 3);
+  // Intra-partition edges only: T1->T2, T1->T3 (T3->T4 etc. cross).
+  EXPECT_EQ(p1.nets.size(), 2u);
+}
+
+TEST(FlowTest, MapsPartitionedArFilterOntoBoard) {
+  const graph::TaskGraph g = workloads::ar_filter_task_graph();
+  const arch::Device dev = arch::custom("d", 200, 64, 50);
+  core::PartitionerOptions options;
+  options.delta = 20.0;
+  const core::PartitionerReport report =
+      core::TemporalPartitioner(g, dev, options).run();
+  ASSERT_TRUE(report.feasible);
+
+  // Two FPGAs covering the device capacity; each chip must still hold the
+  // largest single design point (tasks cannot straddle devices).
+  Board board;
+  board.name = "b2x128";
+  board.num_fpgas = 2;
+  board.fpga_capacity = 128;
+  board.interconnect_capacity = 64;
+  const FlowResult flow = map_design_to_board(g, *report.best, board);
+  ASSERT_TRUE(flow.ok) << flow.failure;
+  EXPECT_EQ(flow.configurations.size(),
+            static_cast<std::size_t>(report.best->num_partitions_used));
+  for (const ConfigurationMapping& config : flow.configurations) {
+    std::string why;
+    EXPECT_TRUE(is_valid_assignment(config.netlist, board,
+                                    config.assignment.fpga_of, &why))
+        << why;
+  }
+}
+
+TEST(FlowTest, ReportsUnmappableConfiguration) {
+  graph::TaskGraph g("t");
+  g.add_task("huge", {{"m", 150, 100}});
+  core::PartitionedDesign design;
+  design.num_partitions_allocated = 1;
+  design.assignment = {{1, 0}};
+  Board board = two_fpgas(100, 10);
+  const FlowResult flow =
+      map_design_to_board(g, design, board, SpatialEngine::kFmThenIlp);
+  EXPECT_FALSE(flow.ok);
+  EXPECT_NE(flow.failure.find("configuration 1"), std::string::npos);
+}
+
+TEST(FlowTest, WildforceBoardPreset) {
+  const Board board = wildforce_board();
+  EXPECT_EQ(board.num_fpgas, 4);
+  EXPECT_NO_THROW(board.validate());
+}
+
+}  // namespace
+}  // namespace sparcs::spatial

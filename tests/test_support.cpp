@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/strings.hpp"
+
+namespace sparcs {
+namespace {
+
+TEST(ErrorTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(SPARCS_REQUIRE(false, "boom"), InvalidArgumentError);
+  EXPECT_NO_THROW(SPARCS_REQUIRE(true, "fine"));
+}
+
+TEST(ErrorTest, CheckThrowsInternalError) {
+  EXPECT_THROW(SPARCS_CHECK(false, "boom"), InternalError);
+  EXPECT_NO_THROW(SPARCS_CHECK(true, "fine"));
+}
+
+TEST(ErrorTest, MessageContainsContext) {
+  try {
+    SPARCS_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = rng.uniform_int(-5, 9);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, SingletonRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(7, 7), 7);
+  EXPECT_EQ(rng.index(1), 0u);
+}
+
+TEST(RngTest, InvalidRangeThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), InvalidArgumentError);
+  EXPECT_THROW(rng.index(0), InvalidArgumentError);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(str_format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(str_format("%.2f", 1.5), "1.50");
+  EXPECT_EQ(str_format("plain"), "plain");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "|"), "a|b|c");
+}
+
+TEST(StringsTest, TrimDouble) {
+  EXPECT_EQ(trim_double(1.5), "1.5");
+  EXPECT_EQ(trim_double(42.0), "42");
+  EXPECT_EQ(trim_double(0.125), "0.125");
+  EXPECT_EQ(trim_double(-0.0), "0");
+  EXPECT_EQ(trim_double(2.0 / 3.0, 3), "0.667");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("abcdef", "abc"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+}
+
+TEST(StopwatchTest, ProgressesMonotonically) {
+  Stopwatch sw;
+  const double t0 = sw.seconds();
+  const double t1 = sw.seconds();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GE(t1, t0);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+  EXPECT_NEAR(sw.milliseconds(), sw.seconds() * 1e3, 1.0);
+}
+
+}  // namespace
+}  // namespace sparcs

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "io/tg_format.hpp"
+#include "support/error.hpp"
+#include "workloads/ar_filter.hpp"
+#include "workloads/ewf.hpp"
+
+namespace sparcs::io {
+namespace {
+
+constexpr const char* kSample = R"(# demo graph
+graph demo
+device board 200 64 50
+
+task a 8 0
+point a fast 90 120
+point a small 50 260
+task b 0 4
+point b only 60 150
+
+edge a b 8
+)";
+
+TEST(TgFormatTest, ParsesSample) {
+  const TaskGraphFile file = read_task_graph_string(kSample);
+  EXPECT_EQ(file.graph.name(), "demo");
+  EXPECT_EQ(file.graph.num_tasks(), 2);
+  EXPECT_EQ(file.graph.num_edges(), 1);
+  ASSERT_TRUE(file.device.has_value());
+  EXPECT_DOUBLE_EQ(file.device->resource_capacity, 200);
+  EXPECT_DOUBLE_EQ(file.device->reconfig_time_ns, 50);
+  const graph::Task& a = file.graph.task(file.graph.find_task("a"));
+  ASSERT_EQ(a.design_points.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.design_points[1].latency_ns, 260);
+  EXPECT_DOUBLE_EQ(a.env_in, 8);
+}
+
+TEST(TgFormatTest, RoundTripsArFilter) {
+  const graph::TaskGraph original = workloads::ar_filter_task_graph();
+  const arch::Device dev = arch::custom("d", 200, 64, 50);
+  const std::string text = to_task_graph_string(original, &dev);
+  const TaskGraphFile parsed = read_task_graph_string(text);
+  EXPECT_EQ(parsed.graph.num_tasks(), original.num_tasks());
+  EXPECT_EQ(parsed.graph.num_edges(), original.num_edges());
+  ASSERT_TRUE(parsed.device.has_value());
+  for (graph::TaskId t = 0; t < original.num_tasks(); ++t) {
+    const graph::Task& lhs = original.task(t);
+    const graph::Task& rhs = parsed.graph.task(parsed.graph.find_task(lhs.name));
+    EXPECT_EQ(lhs.design_points, rhs.design_points) << lhs.name;
+    EXPECT_DOUBLE_EQ(lhs.env_in, rhs.env_in);
+    EXPECT_DOUBLE_EQ(lhs.env_out, rhs.env_out);
+  }
+}
+
+TEST(TgFormatTest, ErrorsNameTheLine) {
+  try {
+    read_task_graph_string("graph g\nbogus directive\n");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TgFormatTest, RejectsUnknownTaskReferences) {
+  EXPECT_THROW(read_task_graph_string("graph g\ntask a\npoint a m 1 1\n"
+                                      "edge a zz 1\n"),
+               InvalidArgumentError);
+  EXPECT_THROW(read_task_graph_string("graph g\npoint nosuch m 1 1\n"),
+               InvalidArgumentError);
+}
+
+TEST(TgFormatTest, RejectsDuplicatesAndBadNumbers) {
+  EXPECT_THROW(read_task_graph_string("task a\ntask a\n"),
+               InvalidArgumentError);
+  EXPECT_THROW(read_task_graph_string("task a xyz\n"), InvalidArgumentError);
+  EXPECT_THROW(
+      read_task_graph_string("device d 1 1 1\ndevice d 1 1 1\ntask a\n"),
+      InvalidArgumentError);
+}
+
+TEST(TgFormatTest, GraphValidationStillApplies) {
+  // A cyclic file parses structurally but fails validation.
+  EXPECT_THROW(read_task_graph_string(R"(graph g
+task a
+point a m 10 10
+task b
+point b m 10 10
+edge a b 1
+edge b a 1
+)"),
+               InvalidArgumentError);
+}
+
+TEST(TgFormatTest, EwfRoundTrip) {
+  const graph::TaskGraph original = workloads::ewf_task_graph();
+  const TaskGraphFile parsed =
+      read_task_graph_string(to_task_graph_string(original));
+  EXPECT_EQ(parsed.graph.num_tasks(), 5);
+  EXPECT_EQ(parsed.graph.num_edges(), original.num_edges());
+  EXPECT_FALSE(parsed.device.has_value());
+}
+
+}  // namespace
+}  // namespace sparcs::io
