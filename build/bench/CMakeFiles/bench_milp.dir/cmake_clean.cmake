@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_milp.dir/bench_milp.cc.o"
+  "CMakeFiles/bench_milp.dir/bench_milp.cc.o.d"
+  "bench_milp"
+  "bench_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimal_vs_iterative.dir/bench_optimal_vs_iterative.cc.o"
+  "CMakeFiles/bench_optimal_vs_iterative.dir/bench_optimal_vs_iterative.cc.o.d"
+  "bench_optimal_vs_iterative"
+  "bench_optimal_vs_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal_vs_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

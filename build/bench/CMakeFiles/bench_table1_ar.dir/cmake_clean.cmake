@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ar.dir/bench_table1_ar.cc.o"
+  "CMakeFiles/bench_table1_ar.dir/bench_table1_ar.cc.o.d"
+  "bench_table1_ar"
+  "bench_table1_ar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

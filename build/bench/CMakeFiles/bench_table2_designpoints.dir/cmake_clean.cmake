@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_designpoints.dir/bench_table2_designpoints.cc.o"
+  "CMakeFiles/bench_table2_designpoints.dir/bench_table2_designpoints.cc.o.d"
+  "bench_table2_designpoints"
+  "bench_table2_designpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_designpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dct_576_smallct.dir/bench_table3_dct_576_smallct.cc.o"
+  "CMakeFiles/bench_table3_dct_576_smallct.dir/bench_table3_dct_576_smallct.cc.o.d"
+  "bench_table3_dct_576_smallct"
+  "bench_table3_dct_576_smallct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dct_576_smallct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

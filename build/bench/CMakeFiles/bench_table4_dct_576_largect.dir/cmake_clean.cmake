@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_dct_576_largect.dir/bench_table4_dct_576_largect.cc.o"
+  "CMakeFiles/bench_table4_dct_576_largect.dir/bench_table4_dct_576_largect.cc.o.d"
+  "bench_table4_dct_576_largect"
+  "bench_table4_dct_576_largect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_dct_576_largect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

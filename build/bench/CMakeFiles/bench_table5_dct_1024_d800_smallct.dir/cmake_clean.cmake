@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_dct_1024_d800_smallct.dir/bench_table5_dct_1024_d800_smallct.cc.o"
+  "CMakeFiles/bench_table5_dct_1024_d800_smallct.dir/bench_table5_dct_1024_d800_smallct.cc.o.d"
+  "bench_table5_dct_1024_d800_smallct"
+  "bench_table5_dct_1024_d800_smallct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_dct_1024_d800_smallct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_dct_1024_d800_smallct.
+# This may be replaced when dependencies are built.

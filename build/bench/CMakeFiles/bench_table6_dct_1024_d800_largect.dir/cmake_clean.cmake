@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_dct_1024_d800_largect.dir/bench_table6_dct_1024_d800_largect.cc.o"
+  "CMakeFiles/bench_table6_dct_1024_d800_largect.dir/bench_table6_dct_1024_d800_largect.cc.o.d"
+  "bench_table6_dct_1024_d800_largect"
+  "bench_table6_dct_1024_d800_largect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_dct_1024_d800_largect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

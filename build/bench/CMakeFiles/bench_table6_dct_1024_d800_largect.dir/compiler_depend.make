@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table6_dct_1024_d800_largect.
+# This may be replaced when dependencies are built.

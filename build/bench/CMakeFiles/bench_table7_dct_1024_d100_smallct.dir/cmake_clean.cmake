@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_dct_1024_d100_smallct.dir/bench_table7_dct_1024_d100_smallct.cc.o"
+  "CMakeFiles/bench_table7_dct_1024_d100_smallct.dir/bench_table7_dct_1024_d100_smallct.cc.o.d"
+  "bench_table7_dct_1024_d100_smallct"
+  "bench_table7_dct_1024_d100_smallct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_dct_1024_d100_smallct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table7_dct_1024_d100_smallct.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_dct_1024_d100_largect.dir/bench_table8_dct_1024_d100_largect.cc.o"
+  "CMakeFiles/bench_table8_dct_1024_d100_largect.dir/bench_table8_dct_1024_d100_largect.cc.o.d"
+  "bench_table8_dct_1024_d100_largect"
+  "bench_table8_dct_1024_d100_largect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_dct_1024_d100_largect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table8_dct_1024_d100_largect.
+# This may be replaced when dependencies are built.

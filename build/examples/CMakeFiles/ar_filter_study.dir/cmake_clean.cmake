@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_filter_study.dir/ar_filter_study.cpp.o"
+  "CMakeFiles/ar_filter_study.dir/ar_filter_study.cpp.o.d"
+  "ar_filter_study"
+  "ar_filter_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_filter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_casestudy.dir/dct_casestudy.cpp.o"
+  "CMakeFiles/dct_casestudy.dir/dct_casestudy.cpp.o.d"
+  "dct_casestudy"
+  "dct_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_exploration.dir/device_exploration.cpp.o"
+  "CMakeFiles/device_exploration.dir/device_exploration.cpp.o.d"
+  "device_exploration"
+  "device_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_flow.dir/sparcs_flow.cpp.o"
+  "CMakeFiles/sparcs_flow.dir/sparcs_flow.cpp.o.d"
+  "sparcs_flow"
+  "sparcs_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

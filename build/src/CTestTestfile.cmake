@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("graph")
+subdirs("milp")
+subdirs("hls")
+subdirs("arch")
+subdirs("core")
+subdirs("sim")
+subdirs("spatial")
+subdirs("workloads")
+subdirs("io")
+subdirs("cli")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_arch.dir/device.cpp.o"
+  "CMakeFiles/sparcs_arch.dir/device.cpp.o.d"
+  "libsparcs_arch.a"
+  "libsparcs_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

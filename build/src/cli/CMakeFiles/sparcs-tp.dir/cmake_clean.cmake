@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs-tp.dir/main.cpp.o"
+  "CMakeFiles/sparcs-tp.dir/main.cpp.o.d"
+  "sparcs-tp"
+  "sparcs-tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs-tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

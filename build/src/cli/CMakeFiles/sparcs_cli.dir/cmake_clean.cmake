@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_cli.dir/app.cpp.o"
+  "CMakeFiles/sparcs_cli.dir/app.cpp.o.d"
+  "libsparcs_cli.a"
+  "libsparcs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

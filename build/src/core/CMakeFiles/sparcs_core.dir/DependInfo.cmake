@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/sparcs_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/sparcs_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/sparcs_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/sparcs_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/formulation.cpp" "src/core/CMakeFiles/sparcs_core.dir/formulation.cpp.o" "gcc" "src/core/CMakeFiles/sparcs_core.dir/formulation.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/core/CMakeFiles/sparcs_core.dir/partitioner.cpp.o" "gcc" "src/core/CMakeFiles/sparcs_core.dir/partitioner.cpp.o.d"
+  "/root/repo/src/core/reduce_latency.cpp" "src/core/CMakeFiles/sparcs_core.dir/reduce_latency.cpp.o" "gcc" "src/core/CMakeFiles/sparcs_core.dir/reduce_latency.cpp.o.d"
+  "/root/repo/src/core/refine_partitions.cpp" "src/core/CMakeFiles/sparcs_core.dir/refine_partitions.cpp.o" "gcc" "src/core/CMakeFiles/sparcs_core.dir/refine_partitions.cpp.o.d"
+  "/root/repo/src/core/solution.cpp" "src/core/CMakeFiles/sparcs_core.dir/solution.cpp.o" "gcc" "src/core/CMakeFiles/sparcs_core.dir/solution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sparcs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sparcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/sparcs_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sparcs_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_core.dir/baselines.cpp.o"
+  "CMakeFiles/sparcs_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/sparcs_core.dir/bounds.cpp.o"
+  "CMakeFiles/sparcs_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/sparcs_core.dir/formulation.cpp.o"
+  "CMakeFiles/sparcs_core.dir/formulation.cpp.o.d"
+  "CMakeFiles/sparcs_core.dir/partitioner.cpp.o"
+  "CMakeFiles/sparcs_core.dir/partitioner.cpp.o.d"
+  "CMakeFiles/sparcs_core.dir/reduce_latency.cpp.o"
+  "CMakeFiles/sparcs_core.dir/reduce_latency.cpp.o.d"
+  "CMakeFiles/sparcs_core.dir/refine_partitions.cpp.o"
+  "CMakeFiles/sparcs_core.dir/refine_partitions.cpp.o.d"
+  "CMakeFiles/sparcs_core.dir/solution.cpp.o"
+  "CMakeFiles/sparcs_core.dir/solution.cpp.o.d"
+  "libsparcs_core.a"
+  "libsparcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

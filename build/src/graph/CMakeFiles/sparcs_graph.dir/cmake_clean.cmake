@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/sparcs_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/sparcs_graph.dir/task_graph.cpp.o"
+  "CMakeFiles/sparcs_graph.dir/task_graph.cpp.o.d"
+  "libsparcs_graph.a"
+  "libsparcs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

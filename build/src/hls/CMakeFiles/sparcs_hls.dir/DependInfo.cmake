@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/design_point_gen.cpp" "src/hls/CMakeFiles/sparcs_hls.dir/design_point_gen.cpp.o" "gcc" "src/hls/CMakeFiles/sparcs_hls.dir/design_point_gen.cpp.o.d"
+  "/root/repo/src/hls/dfg.cpp" "src/hls/CMakeFiles/sparcs_hls.dir/dfg.cpp.o" "gcc" "src/hls/CMakeFiles/sparcs_hls.dir/dfg.cpp.o.d"
+  "/root/repo/src/hls/module_library.cpp" "src/hls/CMakeFiles/sparcs_hls.dir/module_library.cpp.o" "gcc" "src/hls/CMakeFiles/sparcs_hls.dir/module_library.cpp.o.d"
+  "/root/repo/src/hls/scheduler.cpp" "src/hls/CMakeFiles/sparcs_hls.dir/scheduler.cpp.o" "gcc" "src/hls/CMakeFiles/sparcs_hls.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sparcs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sparcs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_hls.dir/design_point_gen.cpp.o"
+  "CMakeFiles/sparcs_hls.dir/design_point_gen.cpp.o.d"
+  "CMakeFiles/sparcs_hls.dir/dfg.cpp.o"
+  "CMakeFiles/sparcs_hls.dir/dfg.cpp.o.d"
+  "CMakeFiles/sparcs_hls.dir/module_library.cpp.o"
+  "CMakeFiles/sparcs_hls.dir/module_library.cpp.o.d"
+  "CMakeFiles/sparcs_hls.dir/scheduler.cpp.o"
+  "CMakeFiles/sparcs_hls.dir/scheduler.cpp.o.d"
+  "libsparcs_hls.a"
+  "libsparcs_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

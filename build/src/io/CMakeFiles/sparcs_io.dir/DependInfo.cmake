@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/sparcs_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/sparcs_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/dot.cpp" "src/io/CMakeFiles/sparcs_io.dir/dot.cpp.o" "gcc" "src/io/CMakeFiles/sparcs_io.dir/dot.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/sparcs_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/sparcs_io.dir/table.cpp.o.d"
+  "/root/repo/src/io/tg_format.cpp" "src/io/CMakeFiles/sparcs_io.dir/tg_format.cpp.o" "gcc" "src/io/CMakeFiles/sparcs_io.dir/tg_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sparcs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sparcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sparcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/sparcs_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sparcs_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

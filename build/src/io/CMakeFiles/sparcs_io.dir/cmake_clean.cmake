@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_io.dir/csv.cpp.o"
+  "CMakeFiles/sparcs_io.dir/csv.cpp.o.d"
+  "CMakeFiles/sparcs_io.dir/dot.cpp.o"
+  "CMakeFiles/sparcs_io.dir/dot.cpp.o.d"
+  "CMakeFiles/sparcs_io.dir/table.cpp.o"
+  "CMakeFiles/sparcs_io.dir/table.cpp.o.d"
+  "CMakeFiles/sparcs_io.dir/tg_format.cpp.o"
+  "CMakeFiles/sparcs_io.dir/tg_format.cpp.o.d"
+  "libsparcs_io.a"
+  "libsparcs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/milp/branch_and_bound.cpp" "src/milp/CMakeFiles/sparcs_milp.dir/branch_and_bound.cpp.o" "gcc" "src/milp/CMakeFiles/sparcs_milp.dir/branch_and_bound.cpp.o.d"
+  "/root/repo/src/milp/checker.cpp" "src/milp/CMakeFiles/sparcs_milp.dir/checker.cpp.o" "gcc" "src/milp/CMakeFiles/sparcs_milp.dir/checker.cpp.o.d"
+  "/root/repo/src/milp/compiled.cpp" "src/milp/CMakeFiles/sparcs_milp.dir/compiled.cpp.o" "gcc" "src/milp/CMakeFiles/sparcs_milp.dir/compiled.cpp.o.d"
+  "/root/repo/src/milp/expr.cpp" "src/milp/CMakeFiles/sparcs_milp.dir/expr.cpp.o" "gcc" "src/milp/CMakeFiles/sparcs_milp.dir/expr.cpp.o.d"
+  "/root/repo/src/milp/lp_reader.cpp" "src/milp/CMakeFiles/sparcs_milp.dir/lp_reader.cpp.o" "gcc" "src/milp/CMakeFiles/sparcs_milp.dir/lp_reader.cpp.o.d"
+  "/root/repo/src/milp/lp_writer.cpp" "src/milp/CMakeFiles/sparcs_milp.dir/lp_writer.cpp.o" "gcc" "src/milp/CMakeFiles/sparcs_milp.dir/lp_writer.cpp.o.d"
+  "/root/repo/src/milp/model.cpp" "src/milp/CMakeFiles/sparcs_milp.dir/model.cpp.o" "gcc" "src/milp/CMakeFiles/sparcs_milp.dir/model.cpp.o.d"
+  "/root/repo/src/milp/presolve.cpp" "src/milp/CMakeFiles/sparcs_milp.dir/presolve.cpp.o" "gcc" "src/milp/CMakeFiles/sparcs_milp.dir/presolve.cpp.o.d"
+  "/root/repo/src/milp/propagation.cpp" "src/milp/CMakeFiles/sparcs_milp.dir/propagation.cpp.o" "gcc" "src/milp/CMakeFiles/sparcs_milp.dir/propagation.cpp.o.d"
+  "/root/repo/src/milp/simplex.cpp" "src/milp/CMakeFiles/sparcs_milp.dir/simplex.cpp.o" "gcc" "src/milp/CMakeFiles/sparcs_milp.dir/simplex.cpp.o.d"
+  "/root/repo/src/milp/solver.cpp" "src/milp/CMakeFiles/sparcs_milp.dir/solver.cpp.o" "gcc" "src/milp/CMakeFiles/sparcs_milp.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sparcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_milp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/sparcs_milp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/sparcs_milp.dir/checker.cpp.o"
+  "CMakeFiles/sparcs_milp.dir/checker.cpp.o.d"
+  "CMakeFiles/sparcs_milp.dir/compiled.cpp.o"
+  "CMakeFiles/sparcs_milp.dir/compiled.cpp.o.d"
+  "CMakeFiles/sparcs_milp.dir/expr.cpp.o"
+  "CMakeFiles/sparcs_milp.dir/expr.cpp.o.d"
+  "CMakeFiles/sparcs_milp.dir/lp_reader.cpp.o"
+  "CMakeFiles/sparcs_milp.dir/lp_reader.cpp.o.d"
+  "CMakeFiles/sparcs_milp.dir/lp_writer.cpp.o"
+  "CMakeFiles/sparcs_milp.dir/lp_writer.cpp.o.d"
+  "CMakeFiles/sparcs_milp.dir/model.cpp.o"
+  "CMakeFiles/sparcs_milp.dir/model.cpp.o.d"
+  "CMakeFiles/sparcs_milp.dir/presolve.cpp.o"
+  "CMakeFiles/sparcs_milp.dir/presolve.cpp.o.d"
+  "CMakeFiles/sparcs_milp.dir/propagation.cpp.o"
+  "CMakeFiles/sparcs_milp.dir/propagation.cpp.o.d"
+  "CMakeFiles/sparcs_milp.dir/simplex.cpp.o"
+  "CMakeFiles/sparcs_milp.dir/simplex.cpp.o.d"
+  "CMakeFiles/sparcs_milp.dir/solver.cpp.o"
+  "CMakeFiles/sparcs_milp.dir/solver.cpp.o.d"
+  "libsparcs_milp.a"
+  "libsparcs_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

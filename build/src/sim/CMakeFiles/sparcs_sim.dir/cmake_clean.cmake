@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_sim.dir/executor.cpp.o"
+  "CMakeFiles/sparcs_sim.dir/executor.cpp.o.d"
+  "libsparcs_sim.a"
+  "libsparcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/flow.cpp" "src/spatial/CMakeFiles/sparcs_spatial.dir/flow.cpp.o" "gcc" "src/spatial/CMakeFiles/sparcs_spatial.dir/flow.cpp.o.d"
+  "/root/repo/src/spatial/fm_spatial.cpp" "src/spatial/CMakeFiles/sparcs_spatial.dir/fm_spatial.cpp.o" "gcc" "src/spatial/CMakeFiles/sparcs_spatial.dir/fm_spatial.cpp.o.d"
+  "/root/repo/src/spatial/ilp_spatial.cpp" "src/spatial/CMakeFiles/sparcs_spatial.dir/ilp_spatial.cpp.o" "gcc" "src/spatial/CMakeFiles/sparcs_spatial.dir/ilp_spatial.cpp.o.d"
+  "/root/repo/src/spatial/netlist.cpp" "src/spatial/CMakeFiles/sparcs_spatial.dir/netlist.cpp.o" "gcc" "src/spatial/CMakeFiles/sparcs_spatial.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sparcs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sparcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sparcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/sparcs_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sparcs_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_spatial.dir/flow.cpp.o"
+  "CMakeFiles/sparcs_spatial.dir/flow.cpp.o.d"
+  "CMakeFiles/sparcs_spatial.dir/fm_spatial.cpp.o"
+  "CMakeFiles/sparcs_spatial.dir/fm_spatial.cpp.o.d"
+  "CMakeFiles/sparcs_spatial.dir/ilp_spatial.cpp.o"
+  "CMakeFiles/sparcs_spatial.dir/ilp_spatial.cpp.o.d"
+  "CMakeFiles/sparcs_spatial.dir/netlist.cpp.o"
+  "CMakeFiles/sparcs_spatial.dir/netlist.cpp.o.d"
+  "libsparcs_spatial.a"
+  "libsparcs_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsparcs_spatial.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_support.dir/error.cpp.o"
+  "CMakeFiles/sparcs_support.dir/error.cpp.o.d"
+  "CMakeFiles/sparcs_support.dir/logging.cpp.o"
+  "CMakeFiles/sparcs_support.dir/logging.cpp.o.d"
+  "CMakeFiles/sparcs_support.dir/rng.cpp.o"
+  "CMakeFiles/sparcs_support.dir/rng.cpp.o.d"
+  "CMakeFiles/sparcs_support.dir/strings.cpp.o"
+  "CMakeFiles/sparcs_support.dir/strings.cpp.o.d"
+  "libsparcs_support.a"
+  "libsparcs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

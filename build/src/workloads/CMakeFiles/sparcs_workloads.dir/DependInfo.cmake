@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ar_filter.cpp" "src/workloads/CMakeFiles/sparcs_workloads.dir/ar_filter.cpp.o" "gcc" "src/workloads/CMakeFiles/sparcs_workloads.dir/ar_filter.cpp.o.d"
+  "/root/repo/src/workloads/dct.cpp" "src/workloads/CMakeFiles/sparcs_workloads.dir/dct.cpp.o" "gcc" "src/workloads/CMakeFiles/sparcs_workloads.dir/dct.cpp.o.d"
+  "/root/repo/src/workloads/ewf.cpp" "src/workloads/CMakeFiles/sparcs_workloads.dir/ewf.cpp.o" "gcc" "src/workloads/CMakeFiles/sparcs_workloads.dir/ewf.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/sparcs_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/sparcs_workloads.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sparcs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sparcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/sparcs_hls.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

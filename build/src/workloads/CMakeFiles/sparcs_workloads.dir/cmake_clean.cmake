@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparcs_workloads.dir/ar_filter.cpp.o"
+  "CMakeFiles/sparcs_workloads.dir/ar_filter.cpp.o.d"
+  "CMakeFiles/sparcs_workloads.dir/dct.cpp.o"
+  "CMakeFiles/sparcs_workloads.dir/dct.cpp.o.d"
+  "CMakeFiles/sparcs_workloads.dir/ewf.cpp.o"
+  "CMakeFiles/sparcs_workloads.dir/ewf.cpp.o.d"
+  "CMakeFiles/sparcs_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/sparcs_workloads.dir/synthetic.cpp.o.d"
+  "libsparcs_workloads.a"
+  "libsparcs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparcs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

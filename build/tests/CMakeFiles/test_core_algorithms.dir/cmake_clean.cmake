@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_algorithms.dir/test_core_algorithms.cpp.o"
+  "CMakeFiles/test_core_algorithms.dir/test_core_algorithms.cpp.o.d"
+  "test_core_algorithms"
+  "test_core_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_formulation.dir/test_core_formulation.cpp.o"
+  "CMakeFiles/test_core_formulation.dir/test_core_formulation.cpp.o.d"
+  "test_core_formulation"
+  "test_core_formulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_formulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_solution.dir/test_core_solution.cpp.o"
+  "CMakeFiles/test_core_solution.dir/test_core_solution.cpp.o.d"
+  "test_core_solution"
+  "test_core_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_scheduling.dir/test_hls_scheduling.cpp.o"
+  "CMakeFiles/test_hls_scheduling.dir/test_hls_scheduling.cpp.o.d"
+  "test_hls_scheduling"
+  "test_hls_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_expr.dir/test_milp_expr.cpp.o"
+  "CMakeFiles/test_milp_expr.dir/test_milp_expr.cpp.o.d"
+  "test_milp_expr"
+  "test_milp_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

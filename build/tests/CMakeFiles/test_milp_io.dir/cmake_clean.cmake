@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_io.dir/test_milp_io.cpp.o"
+  "CMakeFiles/test_milp_io.dir/test_milp_io.cpp.o.d"
+  "test_milp_io"
+  "test_milp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

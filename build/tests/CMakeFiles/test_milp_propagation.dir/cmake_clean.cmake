@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_propagation.dir/test_milp_propagation.cpp.o"
+  "CMakeFiles/test_milp_propagation.dir/test_milp_propagation.cpp.o.d"
+  "test_milp_propagation"
+  "test_milp_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

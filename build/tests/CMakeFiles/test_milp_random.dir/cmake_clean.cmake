@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_random.dir/test_milp_random.cpp.o"
+  "CMakeFiles/test_milp_random.dir/test_milp_random.cpp.o.d"
+  "test_milp_random"
+  "test_milp_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_simplex.dir/test_milp_simplex.cpp.o"
+  "CMakeFiles/test_milp_simplex.dir/test_milp_simplex.cpp.o.d"
+  "test_milp_simplex"
+  "test_milp_simplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

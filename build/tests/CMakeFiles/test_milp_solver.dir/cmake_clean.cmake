@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_solver.dir/test_milp_solver.cpp.o"
+  "CMakeFiles/test_milp_solver.dir/test_milp_solver.cpp.o.d"
+  "test_milp_solver"
+  "test_milp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tg_format.cpp" "tests/CMakeFiles/test_tg_format.dir/test_tg_format.cpp.o" "gcc" "tests/CMakeFiles/test_tg_format.dir/test_tg_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/sparcs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sparcs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sparcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/sparcs_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sparcs_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/sparcs_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sparcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sparcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

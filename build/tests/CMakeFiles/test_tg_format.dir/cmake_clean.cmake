@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tg_format.dir/test_tg_format.cpp.o"
+  "CMakeFiles/test_tg_format.dir/test_tg_format.cpp.o.d"
+  "test_tg_format"
+  "test_tg_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tg_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
