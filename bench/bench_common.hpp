@@ -73,6 +73,16 @@ inline void set_report_counters(benchmark::State& state,
   state.counters["best_N"] = report.best_num_partitions;
   state.counters["ilp_solves"] = report.ilp_solves;
   state.counters["trace_rows"] = static_cast<double>(report.trace.size());
+  const milp::SolverStats& s = report.solver_stats;
+  state.counters["bnb_nodes"] = static_cast<double>(s.nodes_explored);
+  state.counters["bnb_pruned"] = static_cast<double>(
+      s.nodes_pruned_by_bound + s.nodes_pruned_infeasible);
+  state.counters["incumbents"] = static_cast<double>(s.incumbent_updates);
+  state.counters["simplex_iters"] =
+      static_cast<double>(s.simplex_iterations);
+  state.counters["simplex_pivots"] = static_cast<double>(s.simplex_pivots);
+  state.counters["bounds_tightened"] =
+      static_cast<double>(s.bounds_tightened);
 }
 
 }  // namespace sparcs::bench

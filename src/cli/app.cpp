@@ -13,6 +13,9 @@
 #include "io/tg_format.hpp"
 #include "sim/executor.hpp"
 #include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/metrics.hpp"
+#include "support/span.hpp"
 #include "workloads/ar_filter.hpp"
 #include "workloads/dct.hpp"
 #include "workloads/ewf.hpp"
@@ -31,9 +34,23 @@ struct Arguments {
   bool optimal = false;
   bool simulate = false;
   bool quiet = false;
+  std::optional<LogLevel> log_level;
   std::string dot_file;
   std::string csv_file;
+  std::string metrics_json_file;
+  std::string trace_json_file;
 };
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warning") return LogLevel::kWarning;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  SPARCS_REQUIRE(false, "unknown log level '" + name +
+                            "' (expected debug, info, warning, error or off)");
+  return LogLevel::kWarning;
+}
 
 Arguments parse_args(const std::vector<std::string>& args) {
   Arguments parsed;
@@ -65,10 +82,16 @@ Arguments parse_args(const std::vector<std::string>& args) {
       parsed.simulate = true;
     } else if (arg == "--quiet") {
       parsed.quiet = true;
+    } else if (arg == "--log-level") {
+      parsed.log_level = parse_log_level(value());
     } else if (arg == "--dot") {
       parsed.dot_file = value();
     } else if (arg == "--csv") {
       parsed.csv_file = value();
+    } else if (arg == "--metrics-json") {
+      parsed.metrics_json_file = value();
+    } else if (arg == "--trace-json") {
+      parsed.trace_json_file = value();
     } else if (!arg.empty() && arg[0] == '-') {
       SPARCS_REQUIRE(false, "unknown option " + arg);
     } else {
@@ -91,6 +114,58 @@ graph::TaskGraph builtin_workload(const std::string& name) {
   return {};
 }
 
+/// Enables the metrics registry and/or the trace recorder for the duration
+/// of one `run()` when the matching --*-json flag was given, and writes the
+/// JSON files on destruction. Restores the disabled state on every exit
+/// path so repeated in-process runs (tests, library embedding) start clean.
+class ObservabilityGuard {
+ public:
+  ObservabilityGuard(std::string metrics_file, std::string trace_file,
+                     std::ostream& out)
+      : metrics_file_(std::move(metrics_file)),
+        trace_file_(std::move(trace_file)),
+        out_(out) {
+    if (!metrics_file_.empty()) {
+      metrics::registry().reset();
+      metrics::set_enabled(true);
+    }
+    if (!trace_file_.empty()) {
+      trace::clear();
+      trace::set_enabled(true);
+    }
+  }
+  ObservabilityGuard(const ObservabilityGuard&) = delete;
+  ObservabilityGuard& operator=(const ObservabilityGuard&) = delete;
+  ~ObservabilityGuard() {
+    if (!metrics_file_.empty()) {
+      metrics::set_enabled(false);
+      std::ofstream os(metrics_file_);
+      if (os.good()) {
+        os << metrics::registry().snapshot().to_json() << "\n";
+        out_ << "wrote " << metrics_file_ << "\n";
+      } else {
+        SPARCS_ELOG << "cannot write metrics to " << metrics_file_;
+      }
+    }
+    if (!trace_file_.empty()) {
+      trace::set_enabled(false);
+      std::ofstream os(trace_file_);
+      if (os.good()) {
+        trace::write_chrome_json(os);
+        os << "\n";
+        out_ << "wrote " << trace_file_ << "\n";
+      } else {
+        SPARCS_ELOG << "cannot write trace to " << trace_file_;
+      }
+    }
+  }
+
+ private:
+  std::string metrics_file_;
+  std::string trace_file_;
+  std::ostream& out_;
+};
+
 }  // namespace
 
 std::string usage() {
@@ -105,7 +180,11 @@ options:
   --optimal                  also run the optimal-ILP reference
   --simulate                 simulate the best design (Gantt-style report)
   --dot FILE / --csv FILE    export the design / the iteration trace
-  --quiet                    suppress the iteration trace table
+  --metrics-json FILE        write a metrics snapshot (counters/gauges/timers)
+  --trace-json FILE          write Chrome trace-event JSON (chrome://tracing)
+  --log-level L              debug|info|warning|error|off (default: warning)
+  --quiet                    shorthand for --log-level error; also suppresses
+                             the iteration trace table
 )";
 }
 
@@ -117,6 +196,13 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   }
   try {
     const Arguments parsed = parse_args(args);
+
+    // --log-level wins over --quiet; set explicitly every run so repeated
+    // in-process invocations do not inherit a previous run's level.
+    set_log_level(parsed.log_level.value_or(
+        parsed.quiet ? LogLevel::kError : LogLevel::kWarning));
+    const ObservabilityGuard observability(parsed.metrics_json_file,
+                                           parsed.trace_json_file, out);
 
     graph::TaskGraph graph;
     std::optional<arch::Device> device;
@@ -150,7 +236,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     const core::PartitionerReport report =
         core::TemporalPartitioner(graph, dev, options).run();
 
-    if (!parsed.quiet) {
+    if (log_level() < LogLevel::kError) {
       out << io::render_trace(report.trace, ct, false);
     }
     if (!report.feasible) {

@@ -50,6 +50,7 @@ PartitionerReport TemporalPartitioner::run() const {
   report.ilp_solves = refined.ilp_solves;
   report.seconds = refined.seconds;
   report.stopped_by_lower_bound = refined.stopped_by_lower_bound;
+  report.solver_stats = refined.solver_stats;
 
   if (report.best) {
     const DesignCheck check = validate_design(graph_, device_, *report.best);
@@ -83,6 +84,7 @@ OptimalResult solve_optimal(const graph::TaskGraph& graph,
   result.status = solution.status;
   result.seconds = stopwatch.seconds();
   result.nodes = solution.nodes_explored;
+  result.solver_stats = solution.stats;
   if (solution.has_solution()) {
     result.best = form.decode(solution.values);
     result.latency_ns = result.best->total_latency_ns;
@@ -103,6 +105,7 @@ OptimalResult solve_optimal_over_range(const graph::TaskGraph& graph,
     OptimalResult r =
         solve_optimal(graph, device, n, solver_params, formulation);
     best.nodes += r.nodes;
+    best.solver_stats.merge(r.solver_stats);
     if (r.best && (!best.best || r.latency_ns < best.latency_ns)) {
       best.best = std::move(r.best);
       best.latency_ns = r.latency_ns;

@@ -40,6 +40,8 @@ struct PartitionerReport {
   int ilp_solves = 0;
   double seconds = 0.0;
   bool stopped_by_lower_bound = false;
+  /// Aggregate solver statistics over every ILP solve of the run.
+  milp::SolverStats solver_stats;
   /// Derived inputs, for reporting.
   int n_min_lower = 0;
   int n_min_upper = 0;
@@ -69,6 +71,7 @@ struct OptimalResult {
   double latency_ns = 0.0;
   double seconds = 0.0;
   std::int64_t nodes = 0;
+  milp::SolverStats solver_stats;  ///< aggregate over the reference solves
 };
 
 /// Solves the full model at a fixed N to optimality (minimize

@@ -4,6 +4,7 @@
 #include "milp/solver.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
+#include "support/span.hpp"
 #include "support/stopwatch.hpp"
 
 namespace sparcs::core {
@@ -15,6 +16,7 @@ struct Probe {
   std::optional<PartitionedDesign> design;
   double seconds = 0.0;
   std::int64_t nodes = 0;
+  milp::SolverStats stats;
 };
 
 Probe solve_window(const graph::TaskGraph& graph, const arch::Device& device,
@@ -22,6 +24,10 @@ Probe solve_window(const graph::TaskGraph& graph, const arch::Device& device,
                    const ReduceLatencyParams& params,
                    const PartitionedDesign* hint) {
   Probe probe;
+  trace::Span span("Reduce_Latency probe");
+  span.arg("N", static_cast<std::int64_t>(num_partitions));
+  span.arg("d_max", d_max);
+  span.arg("d_min", d_min);
   Stopwatch stopwatch;
   IlpFormulation formulation(graph, device, num_partitions, d_max, d_min,
                              params.formulation);
@@ -32,6 +38,8 @@ Probe solve_window(const graph::TaskGraph& graph, const arch::Device& device,
       milp::solve(formulation.model(), solver_params);
   probe.seconds = stopwatch.seconds();
   probe.nodes = solution.nodes_explored;
+  probe.stats = solution.stats;
+  span.arg("status", milp::to_string(solution.status));
   switch (solution.status) {
     case milp::SolveStatus::kFeasible:
     case milp::SolveStatus::kOptimal:
@@ -61,6 +69,8 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
                                    const ReduceLatencyParams& params,
                                    Trace& trace) {
   SPARCS_REQUIRE(params.delta > 0.0, "latency tolerance delta must be > 0");
+  trace::Span span("Reduce_Latency");
+  span.arg("N", static_cast<std::int64_t>(num_partitions));
   ReduceLatencyResult result;
   int iteration = 0;
 
@@ -75,7 +85,9 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
         probe.design ? probe.design->total_latency_ns : 0.0;
     row.seconds = probe.seconds;
     row.nodes = probe.nodes;
+    row.stats = probe.stats;
     trace.push_back(row);
+    result.solver_stats.merge(probe.stats);
     ++result.ilp_solves;
   };
 

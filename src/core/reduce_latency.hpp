@@ -34,6 +34,7 @@ struct ReduceLatencyResult {
   std::optional<PartitionedDesign> best;
   double achieved_latency = 0.0;  ///< Da; 0 when infeasible
   int ilp_solves = 0;
+  milp::SolverStats solver_stats;  ///< aggregate over all probes
 };
 
 /// Runs the latency refinement for `num_partitions`, appending one

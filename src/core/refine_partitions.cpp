@@ -5,6 +5,8 @@
 #include "core/bounds.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
+#include "support/span.hpp"
 #include "support/stopwatch.hpp"
 
 namespace sparcs::core {
@@ -18,6 +20,7 @@ RefinePartitionsResult refine_partitions_bound(
   device.validate();
 
   RefinePartitionsResult result;
+  trace::Span sweep_span("Refine_Partitions_Bound");
   Stopwatch stopwatch;
 
   ReduceLatencyParams inner;
@@ -50,6 +53,7 @@ RefinePartitionsResult refine_partitions_bound(
     ReduceLatencyResult reduced = reduce_latency(graph, device, n, d_max,
                                                  d_min, inner, result.trace);
     result.ilp_solves += reduced.ilp_solves;
+    result.solver_stats.merge(reduced.solver_stats);
     if (reduced.best) {
       result.best = std::move(reduced.best);
       result.achieved_latency = reduced.achieved_latency;
@@ -81,6 +85,7 @@ RefinePartitionsResult refine_partitions_bound(
         reduce_latency(graph, device, n, result.achieved_latency, d_min,
                        inner, result.trace);
     result.ilp_solves += reduced.ilp_solves;
+    result.solver_stats.merge(reduced.solver_stats);
     if (reduced.best &&
         reduced.achieved_latency < result.achieved_latency) {
       result.best = std::move(reduced.best);
@@ -90,6 +95,20 @@ RefinePartitionsResult refine_partitions_bound(
   }
 
   result.seconds = stopwatch.seconds();
+  sweep_span.arg("Da_ns", result.achieved_latency);
+  sweep_span.arg("best_N", static_cast<std::int64_t>(result.best_num_partitions));
+  sweep_span.arg("ilp_solves", static_cast<std::int64_t>(result.ilp_solves));
+  if (metrics::enabled()) {
+    metrics::Registry& reg = metrics::registry();
+    reg.counter("core.sweeps").add(1);
+    reg.counter("core.ilp_solves").add(result.ilp_solves);
+    reg.timer("core.sweep").record(result.seconds);
+    if (result.best) {
+      reg.gauge("core.best_latency_ns").set(result.achieved_latency);
+      reg.gauge("core.best_num_partitions")
+          .set(static_cast<double>(result.best_num_partitions));
+    }
+  }
   SPARCS_ILOG << "Refine_Partitions_Bound: Da=" << result.achieved_latency
               << " ns at N=" << result.best_num_partitions << " ("
               << result.ilp_solves << " solves, "

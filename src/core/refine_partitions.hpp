@@ -38,6 +38,7 @@ struct RefinePartitionsResult {
   double seconds = 0.0;
   /// True when the sweep ended because MinLatency(N) >= Da.
   bool stopped_by_lower_bound = false;
+  milp::SolverStats solver_stats;  ///< aggregate over the whole sweep
 };
 
 RefinePartitionsResult refine_partitions_bound(

@@ -6,6 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "milp/types.hpp"
+
 namespace sparcs::core {
 
 /// Outcome of one SolveModel() call inside the refinement loops.
@@ -25,6 +27,7 @@ struct IterationRecord {
   double achieved_latency = 0.0;  ///< Da (recomputed), valid when feasible
   double seconds = 0.0;           ///< wall time of the solve
   std::int64_t nodes = 0;         ///< branch & bound nodes explored
+  milp::SolverStats stats;        ///< full per-layer stats of the solve
 };
 
 using Trace = std::vector<IterationRecord>;

@@ -27,7 +27,8 @@ void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
 
 void write_trace_csv(std::ostream& os, const core::Trace& trace) {
   write_csv_row(os, {"N", "iteration", "d_max_bound", "d_min_bound",
-                     "outcome", "achieved_latency_ns", "nodes", "seconds"});
+                     "outcome", "achieved_latency_ns", "nodes", "seconds",
+                     "simplex_iterations", "nodes_pruned"});
   for (const core::IterationRecord& row : trace) {
     std::string outcome;
     switch (row.outcome) {
@@ -41,11 +42,15 @@ void write_trace_csv(std::ostream& os, const core::Trace& trace) {
         outcome = "limit";
         break;
     }
+    const std::int64_t pruned = row.stats.nodes_pruned_by_bound +
+                                row.stats.nodes_pruned_infeasible;
     write_csv_row(
         os, {std::to_string(row.num_partitions), std::to_string(row.iteration),
              trim_double(row.d_max_bound, 3), trim_double(row.d_min_bound, 3),
              outcome, trim_double(row.achieved_latency, 3),
-             std::to_string(row.nodes), trim_double(row.seconds, 6)});
+             std::to_string(row.nodes), trim_double(row.seconds, 6),
+             std::to_string(row.stats.simplex_iterations),
+             std::to_string(pruned)});
   }
 }
 

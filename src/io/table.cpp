@@ -63,7 +63,7 @@ std::string AsciiTable::to_string() const {
 std::string render_trace(const core::Trace& trace, double ct_ns,
                          bool subtract_reconfig) {
   AsciiTable table({"N", "I", "Dmax(ns)", "Dmin(ns)", "Da(ns)", "nodes",
-                    "T(ms)"});
+                    "pruned", "LPit", "T(ms)"});
   int last_n = -1;
   for (const core::IterationRecord& row : trace) {
     if (last_n >= 0 && row.num_partitions != last_n) table.add_separator();
@@ -87,6 +87,9 @@ std::string render_trace(const core::Trace& trace, double ct_ns,
                    trim_double(row.d_max_bound - shift, 1),
                    trim_double(row.d_min_bound - shift, 1), da,
                    std::to_string(row.nodes),
+                   std::to_string(row.stats.nodes_pruned_by_bound +
+                                  row.stats.nodes_pruned_infeasible),
+                   std::to_string(row.stats.simplex_iterations),
                    trim_double(row.seconds * 1e3, 2)});
   }
   return table.to_string();

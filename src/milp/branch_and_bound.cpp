@@ -50,6 +50,8 @@ class BnbSearch {
   bool handle_leaf(MilpSolution& result);
   void record_incumbent(std::vector<double> values, MilpSolution& result);
   bool limits_hit() const;
+  void absorb_lp(const LpResult& lp_result);
+  void export_stats(MilpSolution& result);
 
   const SolverParams& params_;
   CompiledModel compiled_;
@@ -58,6 +60,7 @@ class BnbSearch {
   const Model& model_;
   Stopwatch stopwatch_;
   PropagationStats prop_stats_;
+  SolverStats stats_;
   std::vector<Frame> stack_;
   std::vector<double> incumbent_;
   double incumbent_obj_ = kInfinity;
@@ -171,6 +174,7 @@ bool BnbSearch::complete_continuous(std::vector<double>& candidate,
   }
 
   const LpResult lp_result = solve_lp(lp);
+  absorb_lp(lp_result);
   switch (lp_result.status) {
     case LpStatus::kOptimal:
       break;
@@ -211,7 +215,26 @@ bool BnbSearch::lp_prune() {
     lp.add_row(std::move(terms), cc.sense, cc.rhs);
   }
   const LpResult lp_result = solve_lp(lp);
+  absorb_lp(lp_result);
   return lp_result.status != LpStatus::kInfeasible;  // true = keep node
+}
+
+void BnbSearch::absorb_lp(const LpResult& lp_result) {
+  ++stats_.simplex_calls;
+  stats_.simplex_iterations += lp_result.iterations;
+  stats_.simplex_pivots += lp_result.pivots;
+  stats_.simplex_refactorizations += lp_result.refactorizations;
+}
+
+void BnbSearch::export_stats(MilpSolution& result) {
+  stats_.nodes_explored = nodes_;
+  stats_.propagated_constraints = prop_stats_.constraints_processed;
+  stats_.bounds_tightened = prop_stats_.bounds_tightened;
+  stats_.vars_fixed = prop_stats_.vars_fixed;
+  stats_.conflicts = prop_stats_.conflicts;
+  result.stats = stats_;
+  result.nodes_explored = nodes_;
+  result.propagations = prop_stats_.constraints_processed;
 }
 
 void BnbSearch::record_incumbent(std::vector<double> values,
@@ -224,6 +247,7 @@ void BnbSearch::record_incumbent(std::vector<double> values,
   incumbent_ = std::move(values);
   incumbent_obj_ = obj;
   have_incumbent_ = true;
+  ++stats_.incumbent_updates;
   if (compiled_.has_cutoff_row()) {
     compiled_.set_cutoff(incumbent_obj_ - params_.objective_improvement);
   }
@@ -263,9 +287,13 @@ MilpSolution BnbSearch::run() {
   MilpSolution result;
 
   // Root propagation doubles as presolve.
-  if (!propagator_.propagate(domains_, {}, prop_stats_)) {
+  const bool root_ok = propagator_.propagate(domains_, {}, prop_stats_);
+  stats_.presolve_bounds_tightened = prop_stats_.bounds_tightened;
+  stats_.presolve_vars_fixed = prop_stats_.vars_fixed;
+  if (!root_ok) {
     result.status = SolveStatus::kInfeasible;
     result.seconds = stopwatch_.seconds();
+    export_stats(result);
     return result;
   }
 
@@ -293,6 +321,7 @@ MilpSolution BnbSearch::run() {
         continue;
       }
       if (lp_bounding && !lp_prune()) {
+        ++stats_.nodes_pruned_by_bound;
         descend = false;
         continue;
       }
@@ -301,6 +330,9 @@ MilpSolution BnbSearch::run() {
       frame.branches = make_branches(v);
       frame.trail_mark = domains_.checkpoint();
       stack_.push_back(std::move(frame));
+      if (static_cast<std::int64_t>(stack_.size()) > stats_.max_depth) {
+        stats_.max_depth = static_cast<std::int64_t>(stack_.size());
+      }
     }
 
     // Try the next branch of the top frame; pop exhausted frames.
@@ -323,14 +355,14 @@ MilpSolution BnbSearch::run() {
     }
     if (!ok) {
       // Conflict: stay on this frame and try its next branch.
+      ++stats_.nodes_pruned_infeasible;
       descend = false;
       continue;
     }
     descend = true;
   }
 
-  result.nodes_explored = nodes_;
-  result.propagations = prop_stats_.constraints_processed;
+  export_stats(result);
   result.seconds = stopwatch_.seconds();
   if (stop_ && have_incumbent_) {
     // Early stop after recording a solution (first-feasible or pure

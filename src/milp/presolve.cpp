@@ -4,10 +4,12 @@
 
 #include "milp/compiled.hpp"
 #include "milp/propagation.hpp"
+#include "support/span.hpp"
 
 namespace sparcs::milp {
 
 PresolveResult presolve(const Model& model) {
+  trace::Span span("milp::presolve");
   PresolveResult result;
   const CompiledModel compiled(model);
   Domains domains(compiled);
@@ -77,6 +79,9 @@ PresolveResult presolve(const Model& model) {
   if (model.has_objective()) {
     reduced.set_objective(model.objective(), model.minimize());
   }
+  span.arg("vars_fixed", static_cast<std::int64_t>(result.stats.vars_fixed));
+  span.arg("rows_dropped",
+           static_cast<std::int64_t>(result.stats.rows_dropped));
   result.model = std::move(reduced);
   return result;
 }

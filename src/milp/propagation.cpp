@@ -161,6 +161,7 @@ bool Propagator::process_constraint(int c, Domains& domains,
       if (changed) {
         ++stats.bounds_tightened;
         if (domains.lb(v) > domains.ub(v) + tol_) return false;
+        if (domains.ub(v) - domains.lb(v) <= tol_) ++stats.vars_fixed;
         enqueue_var(v);
       }
     }
@@ -180,6 +181,7 @@ bool Propagator::process_constraint(int c, Domains& domains,
       if (changed) {
         ++stats.bounds_tightened;
         if (domains.lb(v) > domains.ub(v) + tol_) return false;
+        if (domains.ub(v) - domains.lb(v) <= tol_) ++stats.vars_fixed;
         enqueue_var(v);
       }
     }

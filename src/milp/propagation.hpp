@@ -54,6 +54,7 @@ class Domains {
 struct PropagationStats {
   std::int64_t constraints_processed = 0;
   std::int64_t bounds_tightened = 0;
+  std::int64_t vars_fixed = 0;  ///< tightenings that emptied a var's slack
   std::int64_t conflicts = 0;
 };
 

@@ -5,6 +5,7 @@
 
 #include "support/error.hpp"
 #include "support/logging.hpp"
+#include "support/span.hpp"
 
 namespace sparcs::milp {
 
@@ -41,6 +42,7 @@ class SimplexTableau {
   LpResult run();
 
  private:
+  LpResult run_phases();
   void build(const LpProblem& problem);
   void compute_reduced_costs();
   /// Returns entering column or -1 when the current phase is optimal.
@@ -70,6 +72,8 @@ class SimplexTableau {
   std::vector<double> d_;           ///< reduced costs for current phase
   int phase_ = 1;
   int iterations_ = 0;
+  int pivots_ = 0;
+  int refactorizations_ = 0;
 };
 
 void SimplexTableau::build(const LpProblem& problem) {
@@ -316,6 +320,7 @@ bool SimplexTableau::iterate(int entering, bool* made_progress) {
 
   // Basis change: entering becomes basic at its new value; the leaving
   // variable exits at the bound it hit.
+  ++pivots_;
   const std::size_t r = static_cast<std::size_t>(leave_row);
   const int leaving = basis_[r];
   const double entering_value =
@@ -383,6 +388,14 @@ void SimplexTableau::extract(LpResult& result) const {
 }
 
 LpResult SimplexTableau::run() {
+  LpResult result = run_phases();
+  result.iterations = iterations_;
+  result.pivots = pivots_;
+  result.refactorizations = refactorizations_;
+  return result;
+}
+
+LpResult SimplexTableau::run_phases() {
   LpResult result;
   int stall = 0;
   for (phase_ = 1; phase_ <= 2;) {
@@ -418,7 +431,10 @@ LpResult SimplexTableau::run() {
       return result;
     }
     // Periodic refresh guards against accumulated roundoff in the cost row.
-    if (iterations_ % 512 == 0) compute_reduced_costs();
+    if (iterations_ % 512 == 0) {
+      compute_reduced_costs();
+      ++refactorizations_;
+    }
   }
   result.status = LpStatus::kIterationLimit;
   result.iterations = iterations_;
@@ -428,6 +444,9 @@ LpResult SimplexTableau::run() {
 }  // namespace
 
 LpResult solve_lp(const LpProblem& problem, const LpParams& params) {
+  trace::Span span("simplex");
+  span.arg("rows", static_cast<std::int64_t>(problem.num_rows()));
+  span.arg("cols", static_cast<std::int64_t>(problem.num_vars()));
   for (int j = 0; j < problem.num_vars(); ++j) {
     if (problem.lb[static_cast<std::size_t>(j)] >
         problem.ub[static_cast<std::size_t>(j)] + params.feasibility_tol) {

@@ -1,22 +1,82 @@
 #include "milp/solver.hpp"
 
 #include "milp/branch_and_bound.hpp"
+#include "support/metrics.hpp"
+#include "support/span.hpp"
 
 namespace sparcs::milp {
+namespace {
+
+/// Publishes one solve's statistics to the process-wide metrics registry.
+/// Handles are resolved once; the adds are relaxed atomics gated on the
+/// global enable flag, so the per-solve cost is negligible either way.
+void export_to_registry(const MilpSolution& solution) {
+  if (!metrics::enabled()) return;
+  metrics::Registry& reg = metrics::registry();
+  static metrics::Counter& solves = reg.counter("milp.solves");
+  static metrics::Counter& nodes = reg.counter("milp.bnb.nodes_explored");
+  static metrics::Counter& pruned_bound =
+      reg.counter("milp.bnb.nodes_pruned_by_bound");
+  static metrics::Counter& pruned_infeasible =
+      reg.counter("milp.bnb.nodes_pruned_infeasible");
+  static metrics::Counter& incumbents =
+      reg.counter("milp.bnb.incumbent_updates");
+  static metrics::Counter& propagated =
+      reg.counter("milp.propagation.constraints");
+  static metrics::Counter& tightened =
+      reg.counter("milp.propagation.bounds_tightened");
+  static metrics::Counter& fixed = reg.counter("milp.propagation.vars_fixed");
+  static metrics::Counter& conflicts =
+      reg.counter("milp.propagation.conflicts");
+  static metrics::Counter& sx_calls = reg.counter("milp.simplex.calls");
+  static metrics::Counter& sx_iters = reg.counter("milp.simplex.iterations");
+  static metrics::Counter& sx_pivots = reg.counter("milp.simplex.pivots");
+  static metrics::Counter& sx_refactor =
+      reg.counter("milp.simplex.refactorizations");
+  static metrics::Timer& solve_timer = reg.timer("milp.solve");
+  static metrics::Gauge& depth_gauge = reg.gauge("milp.bnb.last_max_depth");
+
+  const SolverStats& s = solution.stats;
+  solves.add(1);
+  nodes.add(s.nodes_explored);
+  pruned_bound.add(s.nodes_pruned_by_bound);
+  pruned_infeasible.add(s.nodes_pruned_infeasible);
+  incumbents.add(s.incumbent_updates);
+  propagated.add(s.propagated_constraints);
+  tightened.add(s.bounds_tightened);
+  fixed.add(s.vars_fixed);
+  conflicts.add(s.conflicts);
+  sx_calls.add(s.simplex_calls);
+  sx_iters.add(s.simplex_iterations);
+  sx_pivots.add(s.simplex_pivots);
+  sx_refactor.add(s.simplex_refactorizations);
+  solve_timer.record(solution.seconds);
+  depth_gauge.set(static_cast<double>(s.max_depth));
+}
+
+}  // namespace
 
 MilpSolution solve(const Model& model, const SolverParams& params) {
-  return solve_branch_and_bound(model, params);
+  trace::Span span("milp::solve");
+  span.arg("vars", static_cast<std::int64_t>(model.num_vars()));
+  span.arg("constraints", static_cast<std::int64_t>(model.num_constraints()));
+  MilpSolution solution = solve_branch_and_bound(model, params);
+  span.arg("status", to_string(solution.status));
+  span.arg("nodes", solution.stats.nodes_explored);
+  span.arg("simplex_iterations", solution.stats.simplex_iterations);
+  export_to_registry(solution);
+  return solution;
 }
 
 MilpSolution solve_first_feasible(const Model& model, SolverParams params) {
   params.stop_at_first_feasible = true;
-  return solve_branch_and_bound(model, params);
+  return solve(model, params);
 }
 
 MilpSolution solve_to_optimality(const Model& model, SolverParams params) {
   params.stop_at_first_feasible = false;
   params.use_lp_bounding = true;
-  return solve_branch_and_bound(model, params);
+  return solve(model, params);
 }
 
 }  // namespace sparcs::milp

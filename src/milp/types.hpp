@@ -80,14 +80,62 @@ struct SolverParams {
   std::int64_t log_every_nodes = 0;
 };
 
+/// Per-layer search statistics of one MILP solve, filled by the simplex,
+/// propagation and branch & bound layers and returned in MilpSolution. All
+/// fields are plain accumulators (no atomics): a solve is single-threaded.
+struct SolverStats {
+  // Branch & bound.
+  std::int64_t nodes_explored = 0;
+  std::int64_t nodes_pruned_by_bound = 0;    ///< LP-relaxation refutations
+  std::int64_t nodes_pruned_infeasible = 0;  ///< propagation conflicts
+  std::int64_t incumbent_updates = 0;
+  std::int64_t max_depth = 0;  ///< deepest DFS stack reached
+
+  // Bound propagation (all nodes, root included).
+  std::int64_t propagated_constraints = 0;
+  std::int64_t bounds_tightened = 0;
+  std::int64_t vars_fixed = 0;
+  std::int64_t conflicts = 0;
+
+  // Root-node propagation, the solver's built-in presolve.
+  std::int64_t presolve_bounds_tightened = 0;
+  std::int64_t presolve_vars_fixed = 0;
+
+  // Simplex (LP bounding + continuous-completion solves).
+  std::int64_t simplex_calls = 0;
+  std::int64_t simplex_iterations = 0;
+  std::int64_t simplex_pivots = 0;           ///< basis changes
+  std::int64_t simplex_refactorizations = 0;  ///< reduced-cost refreshes
+
+  /// Accumulates another solve's stats (sums; max for max_depth).
+  void merge(const SolverStats& other) {
+    nodes_explored += other.nodes_explored;
+    nodes_pruned_by_bound += other.nodes_pruned_by_bound;
+    nodes_pruned_infeasible += other.nodes_pruned_infeasible;
+    incumbent_updates += other.incumbent_updates;
+    max_depth = max_depth > other.max_depth ? max_depth : other.max_depth;
+    propagated_constraints += other.propagated_constraints;
+    bounds_tightened += other.bounds_tightened;
+    vars_fixed += other.vars_fixed;
+    conflicts += other.conflicts;
+    presolve_bounds_tightened += other.presolve_bounds_tightened;
+    presolve_vars_fixed += other.presolve_vars_fixed;
+    simplex_calls += other.simplex_calls;
+    simplex_iterations += other.simplex_iterations;
+    simplex_pivots += other.simplex_pivots;
+    simplex_refactorizations += other.simplex_refactorizations;
+  }
+};
+
 /// Result of a MILP solve.
 struct MilpSolution {
   SolveStatus status = SolveStatus::kLimitReached;
   double objective = 0.0;              ///< valid when a solution exists
   std::vector<double> values;          ///< per-variable values (empty if none)
-  std::int64_t nodes_explored = 0;
-  std::int64_t propagations = 0;
+  std::int64_t nodes_explored = 0;     ///< == stats.nodes_explored
+  std::int64_t propagations = 0;       ///< == stats.propagated_constraints
   double seconds = 0.0;
+  SolverStats stats;                   ///< per-layer search statistics
 
   [[nodiscard]] bool has_solution() const {
     return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
@@ -110,6 +158,8 @@ struct LpResult {
   double objective = 0.0;
   std::vector<double> x;  ///< primal values, one per variable
   int iterations = 0;
+  int pivots = 0;            ///< basis changes (iterations minus bound flips)
+  int refactorizations = 0;  ///< periodic reduced-cost refreshes
 };
 
 }  // namespace sparcs::milp

@@ -1,0 +1,203 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace sparcs::metrics {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Formats a double as a JSON-safe number (JSON has no inf/nan literals).
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  return str_format("%.12g", value);
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void Timer::record(double seconds) {
+  if (!enabled()) return;
+  if (!(seconds >= 0.0)) seconds = 0.0;  // clamp negatives and NaN
+  const double us = seconds * 1e6;
+  int bucket = 0;
+  if (us >= 1.0) {
+    bucket = static_cast<int>(std::floor(std::log2(us)));
+    bucket = std::clamp(bucket, 0, kNumBuckets - 1);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0 || seconds < min_) min_ = seconds;
+  if (count_ == 0 || seconds > max_) max_ = seconds;
+  ++count_;
+  sum_ += seconds;
+  ++buckets_[bucket];
+}
+
+Timer::Stats Timer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.count = count_;
+  s.sum_sec = sum_;
+  s.min_sec = min_;
+  s.max_sec = max_;
+  s.buckets.assign(buckets_, buckets_ + kNumBuckets);
+  return s;
+}
+
+void Timer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  std::fill(buckets_, buckets_ + kNumBuckets, 0);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << "\"" << json_escape(counters[i].name)
+       << "\": " << counters[i].value;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << "\"" << json_escape(gauges[i].name)
+       << "\": " << json_number(gauges[i].value);
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n  \"timers\": {";
+  for (std::size_t i = 0; i < timers.size(); ++i) {
+    const Timer::Stats& s = timers[i].stats;
+    const double mean = s.count > 0 ? s.sum_sec / static_cast<double>(s.count)
+                                    : 0.0;
+    os << (i ? ",\n    " : "\n    ") << "\"" << json_escape(timers[i].name)
+       << "\": {\"count\": " << s.count << ", \"sum_sec\": "
+       << json_number(s.sum_sec) << ", \"min_sec\": " << json_number(s.min_sec)
+       << ", \"max_sec\": " << json_number(s.max_sec)
+       << ", \"mean_sec\": " << json_number(mean)
+       << ", \"buckets_log2_us\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      if (s.buckets[b] == 0) continue;
+      os << (first ? "" : ", ") << "[" << b << ", " << s.buckets[b] << "]";
+      first = false;
+    }
+    os << "]}";
+  }
+  os << (timers.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : counters_) {
+    if (entry.name == name) return *entry.metric;
+  }
+  counters_.push_back({name, std::make_unique<Counter>()});
+  return *counters_.back().metric;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : gauges_) {
+    if (entry.name == name) return *entry.metric;
+  }
+  gauges_.push_back({name, std::make_unique<Gauge>()});
+  return *gauges_.back().metric;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : timers_) {
+    if (entry.name == name) return *entry.metric;
+  }
+  timers_.push_back({name, std::make_unique<Timer>()});
+  return *timers_.back().metric;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& entry : counters_) {
+    snap.counters.push_back({entry.name, entry.metric->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& entry : gauges_) {
+    snap.gauges.push_back({entry.name, entry.metric->value()});
+  }
+  snap.timers.reserve(timers_.size());
+  for (const auto& entry : timers_) {
+    snap.timers.push_back({entry.name, entry.metric->stats()});
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.timers.begin(), snap.timers.end(), by_name);
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : counters_) entry.metric->reset();
+  for (const auto& entry : gauges_) entry.metric->reset();
+  for (const auto& entry : timers_) entry.metric->reset();
+}
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // never destroyed: handles
+  return *instance;                            // must outlive all callers
+}
+
+ScopedTimer::ScopedTimer(Timer& timer) : timer_(&timer) {
+  if (enabled()) start_ns_ = monotonic_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (start_ns_ != 0) {
+    timer_->record(static_cast<double>(monotonic_ns() - start_ns_) * 1e-9);
+  }
+}
+
+}  // namespace sparcs::metrics

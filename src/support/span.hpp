@@ -1,0 +1,67 @@
+// Scoped spans emitting Chrome trace-event / Perfetto-compatible JSON.
+//
+// Tracing is off by default; an inactive Span costs one relaxed atomic load.
+// When enabled, each Span records one complete ("ph":"X") event with
+// microsecond start/duration timestamps, so a whole Refine_Partitions_Bound
+// sweep — with nested spans for every Reduce_Latency probe, milp::solve call
+// and simplex run — can be opened in chrome://tracing or ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace sparcs::trace {
+
+/// True when span recording is globally enabled (default: off).
+bool enabled();
+
+/// Globally enables or disables span recording.
+void set_enabled(bool on);
+
+/// Drops every recorded event.
+void clear();
+
+/// Number of events recorded so far.
+std::size_t num_events();
+
+/// Writes the recorded events as a Chrome trace-event JSON array:
+/// [{"name":..,"cat":"sparcs","ph":"X","ts":..,"dur":..,"pid":..,"tid":..,
+///   "args":{..}}, ...]. Loadable by chrome://tracing and Perfetto.
+void write_chrome_json(std::ostream& os);
+
+namespace detail {
+void record_complete_event(std::string name, std::uint64_t ts_us,
+                           std::uint64_t dur_us, std::string args_json);
+std::uint64_t now_us();
+}  // namespace detail
+
+/// RAII span: measures from construction to destruction. `arg()` attaches
+/// key/value pairs rendered into the event's "args" object; all calls are
+/// no-ops while tracing is disabled.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (enabled()) begin(name);
+  }
+  ~Span() {
+    if (active_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(const char* key, std::int64_t value);
+  void arg(const char* key, double value);
+  void arg(const char* key, const std::string& value);
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  bool active_ = false;
+  std::string name_;
+  std::string args_json_;  ///< comma-joined "key":value fragments
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace sparcs::trace

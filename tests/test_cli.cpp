@@ -112,6 +112,53 @@ TEST(CliTest, ExportsDotAndCsv) {
   std::remove(csv.c_str());
 }
 
+TEST(CliTest, WritesMetricsAndTraceJson) {
+  const std::string metrics = ::testing::TempDir() + "/cli_metrics.json";
+  const std::string trace = ::testing::TempDir() + "/cli_trace.json";
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet",
+                            "--metrics-json", metrics, "--trace-json", trace});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+
+  std::ifstream metrics_in(metrics);
+  ASSERT_TRUE(metrics_in.good());
+  std::stringstream metrics_text;
+  metrics_text << metrics_in.rdbuf();
+  EXPECT_EQ(metrics_text.str().front(), '{');
+  EXPECT_NE(metrics_text.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics_text.str().find("milp.solves"), std::string::npos);
+
+  std::ifstream trace_in(trace);
+  ASSERT_TRUE(trace_in.good());
+  std::stringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  EXPECT_EQ(trace_text.str().front(), '[');
+  EXPECT_NE(trace_text.str().find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace_text.str().find("milp::solve"), std::string::npos);
+  EXPECT_NE(trace_text.str().find("Reduce_Latency"), std::string::npos);
+
+  std::remove(metrics.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(CliTest, LogLevelFlagControlsTraceTable) {
+  const CliRun loud = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                               "64", "--ct", "50", "--delta", "20",
+                               "--log-level", "warning"});
+  EXPECT_EQ(loud.exit_code, 0);
+  EXPECT_NE(loud.out.find("Dmax(ns)"), std::string::npos);
+
+  const CliRun silent = run_cli({"--workload", "ar", "--rmax", "200",
+                                 "--mmax", "64", "--ct", "50", "--delta",
+                                 "20", "--log-level", "error"});
+  EXPECT_EQ(silent.exit_code, 0);
+  EXPECT_EQ(silent.out.find("Dmax(ns)"), std::string::npos);
+
+  const CliRun bad = run_cli({"--workload", "ar", "--log-level", "verbose"});
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.err.find("unknown log level"), std::string::npos);
+}
+
 TEST(CliTest, InfeasibleDeviceReportsExitCode1) {
   // Memory too small for the AR filter's environment data.
   const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",

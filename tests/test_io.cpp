@@ -75,6 +75,28 @@ TEST(TraceRenderTest, ShowsInfeasibleAndFeasibleRows) {
   EXPECT_NE(s.find("25440"), std::string::npos);  // bound without N*Ct
 }
 
+TEST(TraceRenderTest, ShowsSolverStatsColumns) {
+  core::Trace trace;
+  core::IterationRecord r;
+  r.num_partitions = 4;
+  r.iteration = 1;
+  r.d_max_bound = 1000;
+  r.d_min_bound = 500;
+  r.outcome = core::IterationOutcome::kFeasible;
+  r.achieved_latency = 800;
+  r.nodes = 12;
+  r.stats.nodes_pruned_by_bound = 3;
+  r.stats.nodes_pruned_infeasible = 4;
+  r.stats.simplex_iterations = 91;
+  trace.push_back(r);
+
+  const std::string s = render_trace(trace, 0.0, /*subtract_reconfig=*/false);
+  EXPECT_NE(s.find("pruned"), std::string::npos);
+  EXPECT_NE(s.find("LPit"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);   // 3 + 4 pruned nodes
+  EXPECT_NE(s.find("91"), std::string::npos);  // simplex iterations
+}
+
 TEST(CsvTest, EscapingRules) {
   EXPECT_EQ(csv_escape("plain"), "plain");
   EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
@@ -89,12 +111,19 @@ TEST(CsvTest, TraceRoundTripShape) {
   r.d_max_bound = 123.5;
   r.d_min_bound = 50;
   r.outcome = core::IterationOutcome::kLimit;
+  r.stats.simplex_iterations = 17;
+  r.stats.nodes_pruned_by_bound = 2;
+  r.stats.nodes_pruned_infeasible = 1;
   trace.push_back(r);
   std::ostringstream os;
   write_trace_csv(os, trace);
   const std::string s = os.str();
   EXPECT_NE(s.find("N,iteration"), std::string::npos);
+  EXPECT_NE(s.find("simplex_iterations,nodes_pruned"), std::string::npos);
   EXPECT_NE(s.find("3,2,123.5,50,limit"), std::string::npos);
+  // The row ends with the two solver-stat columns: 17 LP iterations and
+  // 2 + 1 = 3 pruned nodes.
+  EXPECT_NE(s.find(",17,3\n"), std::string::npos);
 }
 
 }  // namespace

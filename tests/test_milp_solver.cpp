@@ -214,6 +214,54 @@ TEST(MilpSolverTest, CheckerRejectsBadSolutions) {
   EXPECT_FALSE(check_solution(m, {}).ok);      // wrong arity
 }
 
+TEST(MilpSolverTest, SolverStatsArePopulated) {
+  // solve_to_optimality turns on LP bounding, so the simplex must run and
+  // every layer of SolverStats has to be filled in.
+  Model m("stats");
+  const VarId a = m.add_binary("a");
+  const VarId b = m.add_binary("b");
+  const VarId c = m.add_binary("c");
+  m.add_constraint(3.0 * LinExpr(a) + 4.0 * LinExpr(b) + 2.0 * LinExpr(c) <=
+                       6.0, "cap");
+  m.set_objective(10.0 * LinExpr(a) + 13.0 * LinExpr(b) + 7.0 * LinExpr(c),
+                  /*minimize=*/false);
+  const MilpSolution s = solve_to_optimality(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_GE(s.stats.nodes_explored, 1);
+  EXPECT_GE(s.stats.simplex_calls, 1);
+  EXPECT_GT(s.stats.simplex_iterations, 0);
+  EXPECT_GE(s.stats.incumbent_updates, 1);
+  EXPECT_GE(s.stats.max_depth, 1);
+  // The legacy mirrors must agree with the structured stats.
+  EXPECT_EQ(s.nodes_explored, s.stats.nodes_explored);
+  EXPECT_EQ(s.propagations, s.stats.propagated_constraints);
+}
+
+TEST(MilpSolverTest, SolverStatsMergeSumsAndMaxes) {
+  SolverStats a;
+  a.nodes_explored = 3;
+  a.simplex_iterations = 10;
+  a.max_depth = 2;
+  SolverStats b;
+  b.nodes_explored = 4;
+  b.simplex_iterations = 5;
+  b.max_depth = 7;
+  a.merge(b);
+  EXPECT_EQ(a.nodes_explored, 7);
+  EXPECT_EQ(a.simplex_iterations, 15);
+  EXPECT_EQ(a.max_depth, 7);  // depth is a maximum, not a sum
+}
+
+TEST(MilpSolverTest, InfeasibleModelCountsPrunedNodes) {
+  Model m;
+  const VarId x = m.add_binary("x");
+  m.add_constraint(LinExpr(x) >= 1.0, "force1");
+  m.add_constraint(LinExpr(x) <= 0.0, "force0");
+  const MilpSolution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(s.stats.incumbent_updates, 0);
+}
+
 TEST(MilpSolverTest, LpBoundingPrunesAndAgrees) {
   // Same knapsack solved with and without LP bounding must agree.
   Model m("knapsack2");

@@ -1,0 +1,359 @@
+// Tests for the metrics registry (support/metrics.hpp) and the trace spans
+// (support/span.hpp): registry semantics, snapshot JSON well-formedness,
+// timer monotonicity, concurrent counter increments, and the Chrome
+// trace-event shape of the span export.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/metrics.hpp"
+#include "support/span.hpp"
+
+namespace sparcs {
+namespace {
+
+// --- a minimal JSON well-formedness checker (no external deps) -------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_++]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                               text_[start + (text_[start] == '-')]));
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(const std::string& text) {
+  return JsonChecker(text).valid();
+}
+
+// Every test leaves collection disabled and the stores clean, matching the
+// process default, so suites sharing the process never observe stale state.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::set_enabled(false);
+    metrics::registry().reset();
+    trace::set_enabled(false);
+    trace::clear();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST(JsonCheckerSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(is_valid_json("{}"));
+  EXPECT_TRUE(is_valid_json(R"({"a":[1,2.5,-3e4],"b":{"c":"x\n"},"d":null})"));
+  EXPECT_TRUE(is_valid_json("[]"));
+  EXPECT_FALSE(is_valid_json(""));
+  EXPECT_FALSE(is_valid_json("{"));
+  EXPECT_FALSE(is_valid_json(R"({"a":})"));
+  EXPECT_FALSE(is_valid_json("[1,2,]"));
+  EXPECT_FALSE(is_valid_json("{} trailing"));
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableHandles) {
+  metrics::Counter& a = metrics::registry().counter("test.stable");
+  metrics::Counter& b = metrics::registry().counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  metrics::Counter& c = metrics::registry().counter("test.other");
+  EXPECT_NE(&a, &c);
+  metrics::Timer& t1 = metrics::registry().timer("test.stable");
+  metrics::Timer& t2 = metrics::registry().timer("test.stable");
+  EXPECT_EQ(&t1, &t2);  // same name, different kind: fine, separate stores
+}
+
+TEST_F(MetricsTest, DisabledCollectionIsANoOp) {
+  metrics::Counter& counter = metrics::registry().counter("test.noop");
+  metrics::Gauge& gauge = metrics::registry().gauge("test.noop");
+  metrics::Timer& timer = metrics::registry().timer("test.noop");
+  counter.add(7);
+  gauge.set(3.5);
+  timer.record(0.25);
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(timer.stats().count, 0);
+}
+
+TEST_F(MetricsTest, EnabledCollectionRecords) {
+  metrics::set_enabled(true);
+  metrics::Counter& counter = metrics::registry().counter("test.on");
+  metrics::Gauge& gauge = metrics::registry().gauge("test.on");
+  counter.add();
+  counter.add(41);
+  gauge.set(-2.5);
+  EXPECT_EQ(counter.value(), 42);
+  EXPECT_EQ(gauge.value(), -2.5);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsHandles) {
+  metrics::set_enabled(true);
+  metrics::Counter& counter = metrics::registry().counter("test.reset");
+  counter.add(5);
+  metrics::registry().reset();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(&counter, &metrics::registry().counter("test.reset"));
+  counter.add(1);
+  EXPECT_EQ(counter.value(), 1);
+}
+
+TEST_F(MetricsTest, TimerStatsAreConsistent) {
+  metrics::set_enabled(true);
+  metrics::Timer& timer = metrics::registry().timer("test.timer");
+  const double durations[] = {1e-6, 5e-4, 0.002, 0.002};
+  for (const double d : durations) timer.record(d);
+  const metrics::Timer::Stats stats = timer.stats();
+  EXPECT_EQ(stats.count, 4);
+  EXPECT_NEAR(stats.sum_sec, 1e-6 + 5e-4 + 0.004, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min_sec, 1e-6);
+  EXPECT_DOUBLE_EQ(stats.max_sec, 0.002);
+  EXPECT_LE(stats.min_sec, stats.max_sec);
+  ASSERT_EQ(static_cast<int>(stats.buckets.size()),
+            metrics::Timer::kNumBuckets);
+  const std::int64_t bucket_total = std::accumulate(
+      stats.buckets.begin(), stats.buckets.end(), std::int64_t{0});
+  EXPECT_EQ(bucket_total, stats.count);
+}
+
+TEST_F(MetricsTest, ScopedTimerIsMonotonic) {
+  metrics::set_enabled(true);
+  metrics::Timer& timer = metrics::registry().timer("test.scoped");
+  {
+    metrics::ScopedTimer scope(timer);
+  }
+  const metrics::Timer::Stats first = timer.stats();
+  EXPECT_EQ(first.count, 1);
+  EXPECT_GE(first.sum_sec, 0.0);
+  {
+    metrics::ScopedTimer scope(timer);
+    // Burn a little time so the second sample is strictly measurable.
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  const metrics::Timer::Stats second = timer.stats();
+  EXPECT_EQ(second.count, 2);
+  EXPECT_GE(second.sum_sec, first.sum_sec);  // elapsed time never goes back
+  EXPECT_GE(second.max_sec, second.min_sec);
+}
+
+TEST_F(MetricsTest, ScopedTimerRespectsDisabled) {
+  metrics::Timer& timer = metrics::registry().timer("test.scoped.off");
+  {
+    metrics::ScopedTimer scope(timer);
+  }
+  EXPECT_EQ(timer.stats().count, 0);
+}
+
+TEST_F(MetricsTest, ConcurrentCounterIncrementsAreExact) {
+  metrics::set_enabled(true);
+  metrics::Counter& counter = metrics::registry().counter("test.threads");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, SnapshotJsonIsWellFormed) {
+  metrics::set_enabled(true);
+  metrics::registry().counter("snap.counter").add(3);
+  metrics::registry().gauge("snap.gauge").set(1.25);
+  metrics::registry().timer("snap.timer").record(0.001);
+  metrics::registry().counter("snap.\"quoted\"\n").add(1);  // escaping
+  const std::string json = metrics::registry().snapshot().to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"snap.timer\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByName) {
+  metrics::set_enabled(true);
+  metrics::registry().counter("z.last").add(1);
+  metrics::registry().counter("a.first").add(1);
+  const metrics::MetricsSnapshot snapshot = metrics::registry().snapshot();
+  ASSERT_GE(snapshot.counters.size(), 2u);
+  for (std::size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LE(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+}
+
+TEST_F(MetricsTest, DisabledSpansRecordNothing) {
+  {
+    trace::Span span("never");
+    span.arg("k", std::int64_t{1});
+  }
+  EXPECT_EQ(trace::num_events(), 0u);
+}
+
+TEST_F(MetricsTest, SpanJsonHasChromeTraceShape) {
+  trace::set_enabled(true);
+  {
+    trace::Span outer("outer");
+    outer.arg("n", std::int64_t{3});
+    outer.arg("ratio", 0.5);
+    outer.arg("label", std::string("a\"b"));
+    {
+      trace::Span inner("inner");
+    }
+  }
+  trace::set_enabled(false);
+  EXPECT_EQ(trace::num_events(), 2u);
+  std::ostringstream os;
+  trace::write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_EQ(json.front(), '[');
+  for (const char* key :
+       {"\"name\"", "\"ph\":\"X\"", "\"ts\"", "\"dur\"", "\"pid\"",
+        "\"tid\"", "\"cat\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":3"), std::string::npos);
+}
+
+TEST_F(MetricsTest, SpanClearDropsEvents) {
+  trace::set_enabled(true);
+  { trace::Span span("dropped"); }
+  ASSERT_GE(trace::num_events(), 1u);
+  trace::clear();
+  EXPECT_EQ(trace::num_events(), 0u);
+  std::ostringstream os;
+  trace::write_chrome_json(os);
+  EXPECT_TRUE(is_valid_json(os.str()));
+}
+
+}  // namespace
+}  // namespace sparcs
