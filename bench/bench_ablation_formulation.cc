@@ -68,7 +68,7 @@ void run_variant(benchmark::State& state, const graph::TaskGraph& g,
     stats = form.model().stats();
     milp::SolverParams params;
     params.time_limit_sec = 10.0;
-    solution = milp::solve_first_feasible(form.model(), params);
+    solution = milp::Solver(form.model(), milp::first_feasible_params(params)).solve();
   }
   state.counters["nodes"] = static_cast<double>(solution.nodes_explored);
   state.counters["rows"] = stats.num_constraints;

@@ -39,9 +39,9 @@ inline core::PartitionerReport run_dct_experiment(const DctExperiment& e) {
   core::PartitionerOptions options;
   options.alpha = e.alpha;
   options.gamma = e.gamma;
-  options.delta = e.delta;
-  options.solver.time_limit_sec = e.per_solve_time_limit_sec;
-  options.solver.node_limit = 2000000;
+  options.budget.delta = e.delta;
+  options.budget.solver.time_limit_sec = e.per_solve_time_limit_sec;
+  options.budget.solver.node_limit = 2000000;
   return core::TemporalPartitioner(g, dev, options).run();
 }
 

@@ -50,7 +50,7 @@ void BM_Fig3_MemorySweep(benchmark::State& state) {
       form.set_latency_objective();
       milp::SolverParams params;
       params.time_limit_sec = 5.0;
-      const milp::MilpSolution s = milp::solve(form.model(), params);
+      const milp::MilpSolution s = milp::Solver(form.model(), params).solve();
       Row row{mmax, s.has_solution(), 0};
       if (s.has_solution()) {
         row.partitions_used = form.decode(s.values).num_partitions_used;

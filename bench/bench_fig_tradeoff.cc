@@ -33,9 +33,9 @@ void BM_LatencyVsN(benchmark::State& state) {
     series.clear();
     for (int n = core::min_area_partitions(g, dev); n <= 8; ++n) {
       core::ReduceLatencyParams params;
-      params.delta = 200.0;
-      params.solver.time_limit_sec = 3.0;
-      params.solver.node_limit = 500000;
+      params.budget.delta = 200.0;
+      params.budget.solver.time_limit_sec = 3.0;
+      params.budget.solver.node_limit = 500000;
       core::Trace trace;
       const core::ReduceLatencyResult r = core::reduce_latency(
           g, dev, n, core::max_latency(g, dev, n),

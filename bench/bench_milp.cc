@@ -69,12 +69,38 @@ void BM_BnbKnapsack(benchmark::State& state) {
   for (auto _ : state) {
     SolverParams params;
     params.use_lp_bounding = true;
-    s = solve(m, params);
+    s = Solver(m, params).solve();
     benchmark::DoNotOptimize(s.objective);
   }
   state.counters["nodes"] = static_cast<double>(s.nodes_explored);
 }
 BENCHMARK(BM_BnbKnapsack)->Unit(benchmark::kMillisecond)->Arg(12)->Arg(18)->Arg(24);
+
+/// First-feasible search on the DCT-1024 temporal-partitioning model, swept
+/// over worker-thread counts (Arg = num_threads; 1 is the serial legacy
+/// search). The acceptance target is >= 2x at 4 threads vs 1 on multi-core
+/// hosts.
+void BM_BnbFirstFeasibleDct1024(benchmark::State& state) {
+  const graph::TaskGraph g = workloads::dct_task_graph();
+  const arch::Device dev = arch::custom("d", 1024, 4096, 100);
+  const int n = 4;
+  core::IlpFormulation form(g, dev, n, core::max_latency(g, dev, n),
+                            core::min_latency(g, dev, n));
+  MilpSolution s;
+  for (auto _ : state) {
+    SolverParams params;
+    params.num_threads = static_cast<int>(state.range(0));
+    s = Solver(form.model(), first_feasible_params(params)).solve();
+    benchmark::DoNotOptimize(s.status);
+  }
+  state.counters["nodes"] = static_cast<double>(s.nodes_explored);
+  state.counters["feasible"] = s.has_solution() ? 1 : 0;
+}
+BENCHMARK(BM_BnbFirstFeasibleDct1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
 
 void BM_CompileDctModel(benchmark::State& state) {
   const graph::TaskGraph g = workloads::dct_task_graph();

@@ -32,8 +32,8 @@ void BM_PrefetchSweep(benchmark::State& state) {
     for (const double ct : {50.0, 200.0, 500.0, 1000.0, 5000.0}) {
       const arch::Device dev = arch::custom("d", 1024, 4096, ct);
       core::PartitionerOptions options;
-      options.delta = 200.0;
-      options.solver.time_limit_sec = 3.0;
+      options.budget.delta = 200.0;
+      options.budget.solver.time_limit_sec = 3.0;
       const core::PartitionerReport report =
           core::TemporalPartitioner(g, dev, options).run();
       if (!report.feasible) continue;
@@ -71,8 +71,8 @@ void BM_PrefetchClosedFormAgreement(benchmark::State& state) {
   const graph::TaskGraph g = workloads::dct_task_graph();
   const arch::Device dev = arch::custom("d", 1024, 4096, 300);
   core::PartitionerOptions options;
-  options.delta = 400.0;
-  options.solver.time_limit_sec = 2.0;
+  options.budget.delta = 400.0;
+  options.budget.solver.time_limit_sec = 2.0;
   const core::PartitionerReport report =
       core::TemporalPartitioner(g, dev, options).run();
   if (!report.feasible) {

@@ -44,7 +44,7 @@ void first_feasible_scaling(benchmark::State& state, bool warm_start) {
     }
     milp::SolverParams params;
     params.time_limit_sec = 10.0;
-    solution = milp::solve_first_feasible(form.model(), params);
+    solution = milp::Solver(form.model(), milp::first_feasible_params(params)).solve();
   }
   state.counters["nodes"] = static_cast<double>(solution.nodes_explored);
   state.counters["feasible"] = solution.has_solution() ? 1 : 0;
@@ -78,6 +78,33 @@ BENCHMARK(BM_FirstFeasibleWarmStart)
     ->Arg(48)
     ->Iterations(1);
 
+/// Worker-thread scaling of a single first-feasible query on a DCT-1024
+/// model (Arg = num_threads; 1 is the serial legacy search). Pairs with
+/// bench_milp's BM_BnbFirstFeasibleDct1024 for the 4-vs-1-thread target.
+void BM_FirstFeasibleThreadsDct1024(benchmark::State& state) {
+  const graph::TaskGraph g = make_graph(32);
+  const arch::Device dev = arch::custom("d", 1024, 4096, 100);
+  const int n = core::min_area_partitions(g, dev) + 1;
+  milp::MilpSolution solution;
+  for (auto _ : state) {
+    core::IlpFormulation form(g, dev, n, core::max_latency(g, dev, n),
+                              core::min_latency(g, dev, n));
+    milp::SolverParams params;
+    params.time_limit_sec = 10.0;
+    params.num_threads = static_cast<int>(state.range(0));
+    solution =
+        milp::Solver(form.model(), milp::first_feasible_params(params)).solve();
+  }
+  state.counters["nodes"] = static_cast<double>(solution.nodes_explored);
+  state.counters["feasible"] = solution.has_solution() ? 1 : 0;
+}
+BENCHMARK(BM_FirstFeasibleThreadsDct1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(1);
+
 void BM_FullPartitionerVsTasks(benchmark::State& state) {
   const int tasks = static_cast<int>(state.range(0));
   const graph::TaskGraph g = make_graph(tasks);
@@ -85,9 +112,9 @@ void BM_FullPartitionerVsTasks(benchmark::State& state) {
   core::PartitionerReport report;
   for (auto _ : state) {
     core::PartitionerOptions options;
-    options.delta = 100.0;
-    options.solver.time_limit_sec = 2.0;
-    options.time_budget_sec = 30.0;
+    options.budget.delta = 100.0;
+    options.budget.solver.time_limit_sec = 2.0;
+    options.budget.time_budget_sec = 30.0;
     report = core::TemporalPartitioner(g, dev, options).run();
   }
   state.counters["Da_ns"] = report.feasible ? report.achieved_latency : 0;

@@ -38,8 +38,8 @@ void BM_SimVsAnalytic(benchmark::State& state) {
   for (auto _ : state) {
     for (Case& c : cases) {
       core::PartitionerOptions options;
-      options.delta = 100.0;
-      options.solver.time_limit_sec = 3.0;
+      options.budget.delta = 100.0;
+      options.budget.solver.time_limit_sec = 3.0;
       const core::PartitionerReport report =
           core::TemporalPartitioner(c.graph, c.device, options).run();
       if (!report.feasible) {
@@ -66,8 +66,8 @@ void BM_SimulatorThroughputDct(benchmark::State& state) {
   const graph::TaskGraph g = workloads::dct_task_graph();
   const arch::Device dev = arch::custom("d", 1024, 4096, 100);
   core::PartitionerOptions options;
-  options.delta = 400.0;
-  options.solver.time_limit_sec = 2.0;
+  options.budget.delta = 400.0;
+  options.budget.solver.time_limit_sec = 2.0;
   const core::PartitionerReport report =
       core::TemporalPartitioner(g, dev, options).run();
   if (!report.feasible) {

@@ -67,8 +67,8 @@ void BM_SparcsFlowDct(benchmark::State& state) {
   const graph::TaskGraph g = workloads::dct_task_graph();
   const arch::Device dev = arch::custom("d", 1024, 4096, 100);
   core::PartitionerOptions options;
-  options.delta = 400.0;
-  options.solver.time_limit_sec = 2.0;
+  options.budget.delta = 400.0;
+  options.budget.solver.time_limit_sec = 2.0;
   const core::PartitionerReport report =
       core::TemporalPartitioner(g, dev, options).run();
   if (!report.feasible) {

@@ -20,7 +20,7 @@ core::PartitionerReport run_iterative() {
   const graph::TaskGraph g = workloads::ar_filter_task_graph();
   const arch::Device dev = arch::custom("ar_dev", 200, 64, kCt);
   core::PartitionerOptions options;
-  options.delta = 10.0;
+  options.budget.delta = 10.0;
   options.gamma = 1;
   return core::TemporalPartitioner(g, dev, options).run();
 }

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   for (const double ct : {50.0, 1.0e7}) {
     const arch::Device dev = arch::custom("ar_dev", 200, 64, ct);
     core::PartitionerOptions options;
-    options.delta = 10.0;
+    options.budget.delta = 10.0;
     const core::PartitionerReport report =
         core::TemporalPartitioner(g, dev, options).run();
     std::printf("\n--- Ct = %g ns ---\n%s", ct,
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
         core::solve_optimal_over_range(g, dev, 0, 1);
     std::printf("optimal reference: %g ns -> %s\n", optimal.latency_ns,
                 std::abs(optimal.latency_ns - report.achieved_latency) <=
-                        options.delta + 1e-9
+                        options.budget.delta + 1e-9
                     ? "iterative result is optimal (within delta)"
                     : "iterative result is suboptimal");
 

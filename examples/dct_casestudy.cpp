@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
   for (const double ct : {100.0, 1.0e7}) {
     const arch::Device dev = arch::custom("dct_dev", 1024, 4096, ct);
     core::PartitionerOptions options;
-    options.delta = 100.0;
+    options.budget.delta = 100.0;
     options.alpha = ct < 1e6 ? 1 : 0;  // paper: alpha = 0 for large overheads
-    options.solver.time_limit_sec = 5.0;
+    options.budget.solver.time_limit_sec = 5.0;
     const core::PartitionerReport report =
         core::TemporalPartitioner(g, dev, options).run();
 

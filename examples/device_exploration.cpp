@@ -27,8 +27,8 @@ int main() {
     for (const double ct : {10.0, 100.0, 1000.0, 100000.0, 1.0e7}) {
       const arch::Device dev = arch::custom("sweep", 500, 4096, ct);
       core::PartitionerOptions options;
-      options.delta = 50.0;
-      options.solver.time_limit_sec = 1.0;
+      options.budget.delta = 50.0;
+      options.budget.solver.time_limit_sec = 1.0;
       const core::PartitionerReport report =
           core::TemporalPartitioner(g, dev, options).run();
       table.add_row({std::to_string((long long)ct),
@@ -49,8 +49,8 @@ int main() {
         {"delta (ns)", "total latency (ns)", "ILP solves", "time (s)"});
     for (const double delta : {800.0, 200.0, 50.0}) {
       core::PartitionerOptions options;
-      options.delta = delta;
-      options.solver.time_limit_sec = 1.0;
+      options.budget.delta = delta;
+      options.budget.solver.time_limit_sec = 1.0;
       const core::PartitionerReport report =
           core::TemporalPartitioner(g, dev, options).run();
       char seconds[32];

@@ -36,7 +36,7 @@ int main() {
 
   // 3. Partition. delta is the latency tolerance of the iterative search.
   core::PartitionerOptions options;
-  options.delta = 10.0;
+  options.budget.delta = 10.0;
   const core::PartitionerReport report =
       core::TemporalPartitioner(g, device, options).run();
 

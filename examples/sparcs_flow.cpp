@@ -33,7 +33,7 @@ int main() {
   // 2. Temporal partitioning for a 300-CLB device, 50 ns reconfiguration.
   const arch::Device dev = arch::custom("rc300", 300, 128, 50);
   core::PartitionerOptions options;
-  options.delta = 25.0;
+  options.budget.delta = 25.0;
   const core::PartitionerReport report =
       core::TemporalPartitioner(g, dev, options).run();
   if (!report.feasible) {

@@ -31,6 +31,7 @@ struct Arguments {
   int alpha = 0;
   int gamma = 1;
   double time_limit = 10.0;
+  int threads = 0;
   bool optimal = false;
   bool simulate = false;
   bool quiet = false;
@@ -39,6 +40,7 @@ struct Arguments {
   std::string csv_file;
   std::string metrics_json_file;
   std::string trace_json_file;
+  std::string report_json_file;
 };
 
 LogLevel parse_log_level(const std::string& name) {
@@ -76,6 +78,10 @@ Arguments parse_args(const std::vector<std::string>& args) {
       parsed.gamma = std::stoi(value());
     } else if (arg == "--time-limit") {
       parsed.time_limit = std::stod(value());
+    } else if (arg == "--threads") {
+      parsed.threads = std::stoi(value());
+      SPARCS_REQUIRE(parsed.threads >= 0,
+                     "--threads must be >= 0 (0 = all hardware threads)");
     } else if (arg == "--optimal") {
       parsed.optimal = true;
     } else if (arg == "--simulate") {
@@ -92,6 +98,8 @@ Arguments parse_args(const std::vector<std::string>& args) {
       parsed.metrics_json_file = value();
     } else if (arg == "--trace-json") {
       parsed.trace_json_file = value();
+    } else if (arg == "--report-json") {
+      parsed.report_json_file = value();
     } else if (!arg.empty() && arg[0] == '-') {
       SPARCS_REQUIRE(false, "unknown option " + arg);
     } else {
@@ -177,14 +185,18 @@ options:
   --delta D                  latency tolerance in ns (default: 2% of MaxLatency)
   --alpha A / --gamma G      partition relaxations (defaults 0 / 1)
   --time-limit S             per-ILP-solve wall budget (default 10 s)
+  --threads T                solver worker threads (0 = all hardware threads,
+                             1 = single-threaded legacy search; default 0)
   --optimal                  also run the optimal-ILP reference
   --simulate                 simulate the best design (Gantt-style report)
   --dot FILE / --csv FILE    export the design / the iteration trace
   --metrics-json FILE        write a metrics snapshot (counters/gauges/timers)
   --trace-json FILE          write Chrome trace-event JSON (chrome://tracing)
+  --report-json FILE         write the partitioner report as JSON
   --log-level L              debug|info|warning|error|off (default: warning)
   --quiet                    shorthand for --log-level error; also suppresses
-                             the iteration trace table
+                             the iteration trace table (the --*-json files are
+                             still written)
 )";
 }
 
@@ -229,15 +241,26 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         << " Mmax=" << mmax << " Ct=" << ct << " ns\n";
 
     core::PartitionerOptions options;
-    options.delta = parsed.delta;
+    options.budget.delta = parsed.delta;
     options.alpha = parsed.alpha;
     options.gamma = parsed.gamma;
-    options.solver.time_limit_sec = parsed.time_limit;
+    options.budget.solver.time_limit_sec = parsed.time_limit;
+    options.budget.solver.num_threads = parsed.threads;
     const core::PartitionerReport report =
         core::TemporalPartitioner(graph, dev, options).run();
 
+    // The human trace table follows the log level (--quiet implies kError),
+    // but the observability files above never do: --trace-json and
+    // --metrics-json are written even at --log-level error/off.
     if (log_level() < LogLevel::kError) {
       out << io::render_trace(report.trace, ct, false);
+    }
+    if (!parsed.report_json_file.empty()) {
+      std::ofstream json(parsed.report_json_file);
+      SPARCS_REQUIRE(json.good(),
+                     "cannot write report to " + parsed.report_json_file);
+      json << report.to_json() << "\n";
+      out << "wrote " << parsed.report_json_file << "\n";
     }
     if (!report.feasible) {
       out << "no feasible partitioning in the explored range\n";
@@ -251,7 +274,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
 
     if (parsed.optimal) {
       const core::OptimalResult optimal = core::solve_optimal_over_range(
-          graph, dev, parsed.alpha, parsed.gamma, options.solver);
+          graph, dev, parsed.alpha, parsed.gamma, options.budget.solver);
       if (optimal.best) {
         out << "optimal reference: " << optimal.latency_ns << " ns ("
             << milp::to_string(optimal.status) << ")\n";

@@ -23,7 +23,7 @@ PartitionerReport TemporalPartitioner::run() const {
   report.n_min_lower = min_area_partitions(graph_, device_);
   report.n_min_upper = max_area_partitions(graph_, device_);
 
-  double delta = options_.delta;
+  double delta = options_.budget.delta;
   if (delta <= 0.0) {
     const int n_start = report.n_min_lower + options_.alpha;
     delta = std::max(1e-9, options_.delta_fraction *
@@ -34,10 +34,8 @@ PartitionerReport TemporalPartitioner::run() const {
   RefinePartitionsParams params;
   params.alpha = options_.alpha;
   params.gamma = options_.gamma;
-  params.delta = delta;
-  params.time_budget_sec = options_.time_budget_sec;
-  params.solver = options_.solver;
-  params.formulation = options_.formulation;
+  params.budget = options_.budget;
+  params.budget.delta = delta;
   params.max_partitions = options_.max_partitions;
 
   RefinePartitionsResult refined =
@@ -70,16 +68,16 @@ OptimalResult solve_optimal(const graph::TaskGraph& graph,
                       min_latency(graph, device, num_partitions),
                       formulation);
   form.set_latency_objective();
-  solver_params.stop_at_first_feasible = false;
   // Optimality proofs need the LP relaxation bound (bound propagation alone
   // cannot refute near-ties), and a 1 ns incumbent-improvement step: all
   // workload latencies are integral nanoseconds, so requiring the next
   // incumbent to be >= 1 ns better prunes the tie plateau without losing
   // the true optimum.
-  solver_params.use_lp_bounding = true;
+  solver_params = milp::optimality_params(std::move(solver_params));
   solver_params.objective_improvement =
       std::max(solver_params.objective_improvement, 1.0);
-  const milp::MilpSolution solution = milp::solve(form.model(), solver_params);
+  milp::Solver solver(form.model(), solver_params);
+  const milp::MilpSolution solution = solver.solve();
   OptimalResult result;
   result.status = solution.status;
   result.seconds = stopwatch.seconds();

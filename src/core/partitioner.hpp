@@ -19,14 +19,12 @@ namespace sparcs::core {
 struct PartitionerOptions {
   int alpha = 0;  ///< starting partition relaxation
   int gamma = 1;  ///< ending partition relaxation
-  /// Absolute latency tolerance delta (ns). When <= 0, delta is derived as
+  /// Shared tolerance/limit/formulation block. budget.delta is the absolute
+  /// latency tolerance (ns); when <= 0, delta is derived as
   /// delta_fraction * MaxLatency(N_start) (the paper's "small percentage of
   /// MaxLatency" guidance).
-  double delta = 0.0;
+  SearchBudget budget;
   double delta_fraction = 0.02;
-  double time_budget_sec = 1e30;
-  milp::SolverParams solver;
-  FormulationOptions formulation;
   int max_partitions = 64;
 };
 
@@ -46,6 +44,10 @@ struct PartitionerReport {
   int n_min_lower = 0;
   int n_min_upper = 0;
   double delta_used = 0.0;
+
+  /// Renders the report as a JSON object (shared ReportWriter schema); the
+  /// CLI's --report-json output.
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Combined temporal partitioning and design space exploration.
@@ -72,6 +74,9 @@ struct OptimalResult {
   double seconds = 0.0;
   std::int64_t nodes = 0;
   milp::SolverStats solver_stats;  ///< aggregate over the reference solves
+
+  /// Renders the result as a JSON object (shared ReportWriter schema).
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Solves the full model at a fixed N to optimality (minimize

@@ -30,12 +30,11 @@ Probe solve_window(const graph::TaskGraph& graph, const arch::Device& device,
   span.arg("d_min", d_min);
   Stopwatch stopwatch;
   IlpFormulation formulation(graph, device, num_partitions, d_max, d_min,
-                             params.formulation);
+                             params.budget.formulation);
   if (hint != nullptr) formulation.apply_hints(*hint);
-  milp::SolverParams solver_params = params.solver;
-  solver_params.stop_at_first_feasible = true;
-  const milp::MilpSolution solution =
-      milp::solve(formulation.model(), solver_params);
+  milp::Solver solver(formulation.model(),
+                      milp::first_feasible_params(params.budget.solver));
+  const milp::MilpSolution solution = solver.solve();
   probe.seconds = stopwatch.seconds();
   probe.nodes = solution.nodes_explored;
   probe.stats = solution.stats;
@@ -68,7 +67,8 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
                                    double d_min,
                                    const ReduceLatencyParams& params,
                                    Trace& trace) {
-  SPARCS_REQUIRE(params.delta > 0.0, "latency tolerance delta must be > 0");
+  SPARCS_REQUIRE(params.budget.delta > 0.0,
+                 "latency tolerance delta must be > 0");
   trace::Span span("Reduce_Latency");
   span.arg("N", static_cast<std::int64_t>(num_partitions));
   ReduceLatencyResult result;
@@ -138,9 +138,11 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
   result.achieved_latency = result.best->total_latency_ns;
   portfolio.push_back(*result.best);
 
-  // Binary subdivision of the latency window.
-  while (d_max - d_min >= params.delta &&
-         result.achieved_latency - d_min >= params.delta) {
+  // Binary subdivision of the latency window. A cancellation unwinds here
+  // directly instead of burning a (fast but pointless) probe per halving.
+  while (d_max - d_min >= params.budget.delta &&
+         result.achieved_latency - d_min >= params.budget.delta &&
+         !params.budget.cancelled()) {
     double target = (d_max + d_min) / 2.0;
     // The probe must ask for something strictly better than the incumbent.
     while (target >= result.achieved_latency) {

@@ -10,7 +10,7 @@
 #include <optional>
 
 #include "arch/device.hpp"
-#include "core/formulation.hpp"
+#include "core/search_budget.hpp"
 #include "core/solution.hpp"
 #include "core/trace.hpp"
 #include "graph/task_graph.hpp"
@@ -19,9 +19,8 @@
 namespace sparcs::core {
 
 struct ReduceLatencyParams {
-  double delta = 0.0;  ///< latency tolerance (same unit as latencies: ns)
-  milp::SolverParams solver;  ///< per-SolveModel limits
-  FormulationOptions formulation;
+  /// Shared tolerance/limit/formulation block (delta, solver, formulation).
+  SearchBudget budget;
   /// Optional warm start for the first probe (e.g. the best design from a
   /// smaller partition bound); a greedy first-fit placement is used when
   /// absent or unusable within the window.

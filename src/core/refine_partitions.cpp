@@ -1,6 +1,10 @@
 #include "core/refine_partitions.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
 
 #include "core/bounds.hpp"
 #include "support/error.hpp"
@@ -10,6 +14,65 @@
 #include "support/stopwatch.hpp"
 
 namespace sparcs::core {
+namespace {
+
+/// A Reduce_Latency run for partition bound `n` launched on a worker thread
+/// while the sweep is still busy with `n - 1`. Its iterations go into a
+/// private trace buffer; the sweep either adopts them (when the launch-time
+/// window turns out to equal the one the serial sweep would have used) or
+/// cancels the run and discards the buffer. The destructor cancels and
+/// joins, so an unwinding sweep never leaks the worker.
+struct SpeculativeProbe {
+  int n = 0;
+  double d_max = 0.0;  ///< launch-time window upper bound (predicted Da)
+  milp::CancelToken cancel;
+  Trace trace;
+  ReduceLatencyResult result;
+  std::exception_ptr error;
+  std::thread thread;
+
+  ~SpeculativeProbe() { discard(); }
+
+  void join() {
+    if (thread.joinable()) thread.join();
+  }
+
+  void discard() {
+    cancel.request_cancel();
+    join();
+  }
+};
+
+std::unique_ptr<SpeculativeProbe> launch_speculative(
+    const graph::TaskGraph& graph, const arch::Device& device, int n,
+    double d_max, double d_min, const ReduceLatencyParams& inner) {
+  auto spec = std::make_unique<SpeculativeProbe>();
+  spec->n = n;
+  spec->d_max = d_max;
+  spec->cancel = milp::CancelToken::create();
+  ReduceLatencyParams params = inner;  // worker-private copy
+  params.budget.solver.cancel = spec->cancel;
+  spec->thread = std::thread([probe = spec.get(), &graph, &device, n, d_max,
+                              d_min, params = std::move(params)] {
+    try {
+      probe->result = reduce_latency(graph, device, n, d_max, d_min, params,
+                                     probe->trace);
+    } catch (...) {
+      probe->error = std::current_exception();
+    }
+  });
+  return spec;
+}
+
+/// Speculation needs a second execution lane: disabled when the solver is
+/// pinned to one thread or the machine only has one.
+bool speculation_enabled(const SearchBudget& budget) {
+  if (budget.solver.num_threads == 1) return false;
+  if (budget.solver.num_threads > 1) return true;
+  return std::thread::hardware_concurrency() > 1;
+}
+
+}  // namespace
 
 RefinePartitionsResult refine_partitions_bound(
     const graph::TaskGraph& graph, const arch::Device& device,
@@ -24,51 +87,101 @@ RefinePartitionsResult refine_partitions_bound(
   Stopwatch stopwatch;
 
   ReduceLatencyParams inner;
-  inner.delta = params.delta;
-  inner.solver = params.solver;
-  inner.formulation = params.formulation;
+  inner.budget = params.budget;
 
   const int n_min_lower = min_area_partitions(graph, device);
   const int n_min_upper = max_area_partitions(graph, device);
   const int n_stop = n_min_upper + params.gamma;
+  const bool speculate = speculation_enabled(params.budget);
 
   auto time_expired = [&] {
-    return stopwatch.seconds() >= params.time_budget_sec;
+    return stopwatch.seconds() >= params.budget.time_budget_sec ||
+           params.budget.cancelled();
   };
+
+  /// Folds a finished speculative run into the result as if the sweep had
+  /// run it inline. Valid only when its launch-time inputs match the ones
+  /// the serial sweep would use at this point.
+  auto adopt = [&](SpeculativeProbe& spec) -> ReduceLatencyResult {
+    spec.join();
+    if (spec.error) std::rethrow_exception(spec.error);
+    result.trace.insert(result.trace.end(), spec.trace.begin(),
+                        spec.trace.end());
+    result.ilp_solves += spec.result.ilp_solves;
+    result.solver_stats.merge(spec.result.solver_stats);
+    return std::move(spec.result);
+  };
+
+  auto finish = [&] {
+    // Normalization rule: the trace is ordered by (N, iteration). Inline
+    // runs append in exactly that order and adopted buffers slot in at
+    // their N, so this is a stable no-op re-ordering that pins the
+    // determinism contract regardless of how probes were scheduled.
+    std::stable_sort(result.trace.begin(), result.trace.end(),
+                     [](const IterationRecord& a, const IterationRecord& b) {
+                       return a.num_partitions != b.num_partitions
+                                  ? a.num_partitions < b.num_partitions
+                                  : a.iteration < b.iteration;
+                     });
+    result.seconds = stopwatch.seconds();
+  };
+
+  std::unique_ptr<SpeculativeProbe> spec;
 
   // Phase 1: find the first feasible partition bound, starting at
   // N^l_min + alpha and incrementing while Reduce_Latency returns Da = 0.
   // Any design uses at most one partition per task, so feasibility is
   // settled once N reaches the task count: growing N further cannot help.
+  // Phase-1 windows depend only on N, so a speculative run for N+1 is
+  // always adoptable when the sweep reaches N+1.
   const int n_phase1_cap = std::min(
       params.max_partitions, std::max(graph.num_tasks(), n_stop));
   int n = n_min_lower + params.alpha;
   while (true) {
     if (n > n_phase1_cap) {
-      result.seconds = stopwatch.seconds();
+      finish();
       return result;  // provably no solution in the explorable range
     }
-    const double d_max = max_latency(graph, device, n);
-    const double d_min = min_latency(graph, device, n);
-    ReduceLatencyResult reduced = reduce_latency(graph, device, n, d_max,
-                                                 d_min, inner, result.trace);
-    result.ilp_solves += reduced.ilp_solves;
-    result.solver_stats.merge(reduced.solver_stats);
+    ReduceLatencyResult reduced;
+    if (spec != nullptr && spec->n == n) {
+      reduced = adopt(*spec);
+      spec.reset();
+    } else {
+      spec.reset();
+      if (speculate && n + 1 <= n_phase1_cap && !time_expired()) {
+        spec = launch_speculative(graph, device, n + 1,
+                                  max_latency(graph, device, n + 1),
+                                  min_latency(graph, device, n + 1), inner);
+      }
+      const double d_max = max_latency(graph, device, n);
+      const double d_min = min_latency(graph, device, n);
+      reduced = reduce_latency(graph, device, n, d_max, d_min, inner,
+                               result.trace);
+      result.ilp_solves += reduced.ilp_solves;
+      result.solver_stats.merge(reduced.solver_stats);
+    }
     if (reduced.best) {
       result.best = std::move(reduced.best);
       result.achieved_latency = reduced.achieved_latency;
       result.best_num_partitions = n;
+      // Any in-flight speculation used the phase-1 window for N+1; phase 2
+      // caps the window at Da instead, so the prediction cannot match.
+      spec.reset();
       break;
     }
     if (time_expired()) {
-      result.seconds = stopwatch.seconds();
+      spec.reset();
+      finish();
       return result;  // no solution within the budget
     }
     ++n;
   }
 
   // Phase 2: relax N looking for strictly better solutions; the achieved
-  // latency Da becomes the upper bound of every further search.
+  // latency Da becomes the upper bound of every further search. The
+  // speculative run for N+1 predicts that N will not improve Da (the common
+  // case near the end of a sweep); when N does improve, the prediction is
+  // wrong, the run is cancelled, and N+1 is probed inline with the true Da.
   while (n < n_stop && !time_expired()) {
     ++n;
     const double d_min = min_latency(graph, device, n);
@@ -81,11 +194,29 @@ RefinePartitionsResult refine_partitions_bound(
     // Seed the new partition bound with the incumbent design: it stays valid
     // when N grows and focuses the solver on local improvements.
     inner.warm_start = result.best;
-    ReduceLatencyResult reduced =
-        reduce_latency(graph, device, n, result.achieved_latency, d_min,
-                       inner, result.trace);
-    result.ilp_solves += reduced.ilp_solves;
-    result.solver_stats.merge(reduced.solver_stats);
+    ReduceLatencyResult reduced;
+    if (spec != nullptr && spec->n == n &&
+        spec->d_max == result.achieved_latency) {
+      // Prediction held (the previous bound left Da — and therefore the
+      // warm start — unchanged): the speculative run saw exactly the
+      // serial sweep's inputs.
+      reduced = adopt(*spec);
+      spec.reset();
+    } else {
+      spec.reset();
+      if (speculate && n + 1 <= n_stop) {
+        const double d_min_next = min_latency(graph, device, n + 1);
+        if (d_min_next < result.achieved_latency) {
+          spec = launch_speculative(graph, device, n + 1,
+                                    result.achieved_latency, d_min_next,
+                                    inner);
+        }
+      }
+      reduced = reduce_latency(graph, device, n, result.achieved_latency,
+                               d_min, inner, result.trace);
+      result.ilp_solves += reduced.ilp_solves;
+      result.solver_stats.merge(reduced.solver_stats);
+    }
     if (reduced.best &&
         reduced.achieved_latency < result.achieved_latency) {
       result.best = std::move(reduced.best);
@@ -93,8 +224,9 @@ RefinePartitionsResult refine_partitions_bound(
       result.best_num_partitions = n;
     }
   }
+  spec.reset();
 
-  result.seconds = stopwatch.seconds();
+  finish();
   sweep_span.arg("Da_ns", result.achieved_latency);
   sweep_span.arg("best_N", static_cast<std::int64_t>(result.best_num_partitions));
   sweep_span.arg("ilp_solves", static_cast<std::int64_t>(result.ilp_solves));

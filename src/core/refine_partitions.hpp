@@ -6,6 +6,14 @@
 // budget), each time searching only below the best achieved latency Da, and
 // stops early as soon as MinLatency(N) >= Da — for large reconfiguration
 // overheads that fires immediately after the first solution.
+//
+// With more than one solver thread available the sweep overlaps consecutive
+// partition bounds: while Reduce_Latency runs for N, the probe for N+1 is
+// launched speculatively on a worker thread and either adopted (when its
+// predicted inputs match what the serial sweep would have used) or cancelled
+// and re-run. Adopted runs recorded their iterations into a private buffer,
+// so the final trace is identical to the single-threaded sweep's; see
+// DESIGN.md ("Deterministic speculation").
 #pragma once
 
 #include <optional>
@@ -21,10 +29,9 @@ namespace sparcs::core {
 struct RefinePartitionsParams {
   int alpha = 0;  ///< starting partition relaxation (added to N^l_min)
   int gamma = 1;  ///< ending partition relaxation (added to N^u_min)
-  double delta = 0.0;  ///< latency tolerance forwarded to Reduce_Latency
-  double time_budget_sec = 1e30;  ///< TimeExpired() threshold for the sweep
-  milp::SolverParams solver;
-  FormulationOptions formulation;
+  /// Shared tolerance/limit/formulation block (delta, time budget, solver,
+  /// formulation), forwarded to every Reduce_Latency call.
+  SearchBudget budget;
   /// Hard cap on N in case a pathological instance never becomes feasible.
   int max_partitions = 64;
 };
@@ -39,6 +46,9 @@ struct RefinePartitionsResult {
   /// True when the sweep ended because MinLatency(N) >= Da.
   bool stopped_by_lower_bound = false;
   milp::SolverStats solver_stats;  ///< aggregate over the whole sweep
+
+  /// Renders the result as a JSON object (shared ReportWriter schema).
+  [[nodiscard]] std::string to_json() const;
 };
 
 RefinePartitionsResult refine_partitions_bound(

@@ -1,0 +1,105 @@
+// JSON rendering of the core result structs through the shared ReportWriter,
+// so PartitionerReport, RefinePartitionsResult and OptimalResult agree on
+// field names and number formatting (the CLI's --report-json contract).
+#include "core/partitioner.hpp"
+#include "core/refine_partitions.hpp"
+#include "support/report_writer.hpp"
+
+namespace sparcs::core {
+namespace {
+
+const char* to_string(IterationOutcome outcome) {
+  switch (outcome) {
+    case IterationOutcome::kFeasible:
+      return "feasible";
+    case IterationOutcome::kInfeasible:
+      return "infeasible";
+    case IterationOutcome::kLimit:
+      return "limit";
+  }
+  return "unknown";
+}
+
+void write_solver_stats(report::ReportWriter& w,
+                        const milp::SolverStats& stats) {
+  w.begin_object("solver_stats");
+  w.field("nodes_explored", stats.nodes_explored);
+  w.field("nodes_pruned_by_bound", stats.nodes_pruned_by_bound);
+  w.field("nodes_pruned_infeasible", stats.nodes_pruned_infeasible);
+  w.field("incumbent_updates", stats.incumbent_updates);
+  w.field("max_depth", stats.max_depth);
+  w.field("propagated_constraints", stats.propagated_constraints);
+  w.field("bounds_tightened", stats.bounds_tightened);
+  w.field("vars_fixed", stats.vars_fixed);
+  w.field("conflicts", stats.conflicts);
+  w.field("simplex_calls", stats.simplex_calls);
+  w.field("simplex_iterations", stats.simplex_iterations);
+  w.end_object();
+}
+
+void write_trace(report::ReportWriter& w, const Trace& trace) {
+  w.begin_array("trace");
+  for (const IterationRecord& row : trace) {
+    w.begin_object();
+    w.field("N", row.num_partitions);
+    w.field("iteration", row.iteration);
+    w.field("d_max_ns", row.d_max_bound);
+    w.field("d_min_ns", row.d_min_bound);
+    w.field("outcome", to_string(row.outcome));
+    w.field("achieved_latency_ns", row.achieved_latency);
+    w.field("seconds", row.seconds);
+    w.field("nodes", row.nodes);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+std::string RefinePartitionsResult::to_json() const {
+  report::ReportWriter w;
+  w.begin_object();
+  w.field("feasible", best.has_value());
+  w.field("achieved_latency_ns", achieved_latency);
+  w.field("best_num_partitions", best_num_partitions);
+  w.field("ilp_solves", ilp_solves);
+  w.field("seconds", seconds);
+  w.field("stopped_by_lower_bound", stopped_by_lower_bound);
+  write_solver_stats(w, solver_stats);
+  write_trace(w, trace);
+  w.end_object();
+  return w.str();
+}
+
+std::string PartitionerReport::to_json() const {
+  report::ReportWriter w;
+  w.begin_object();
+  w.field("feasible", feasible);
+  w.field("achieved_latency_ns", achieved_latency);
+  w.field("best_num_partitions", best_num_partitions);
+  w.field("ilp_solves", ilp_solves);
+  w.field("seconds", seconds);
+  w.field("stopped_by_lower_bound", stopped_by_lower_bound);
+  w.field("n_min_lower", n_min_lower);
+  w.field("n_min_upper", n_min_upper);
+  w.field("delta_used_ns", delta_used);
+  write_solver_stats(w, solver_stats);
+  write_trace(w, trace);
+  w.end_object();
+  return w.str();
+}
+
+std::string OptimalResult::to_json() const {
+  report::ReportWriter w;
+  w.begin_object();
+  w.field("status", milp::to_string(status));
+  w.field("feasible", best.has_value());
+  w.field("latency_ns", latency_ns);
+  w.field("seconds", seconds);
+  w.field("nodes", nodes);
+  write_solver_stats(w, solver_stats);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace sparcs::core

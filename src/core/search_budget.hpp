@@ -1,0 +1,27 @@
+// The slice of search configuration shared by every layer of the paper's
+// procedure. PartitionerOptions, RefinePartitionsParams and
+// ReduceLatencyParams all embed one SearchBudget instead of re-declaring the
+// same four fields, so a budget configured once (CLI, benches, tests) flows
+// unchanged from the partitioner facade down to each SolveModel() call.
+#pragma once
+
+#include "core/formulation.hpp"
+#include "milp/types.hpp"
+
+namespace sparcs::core {
+
+struct SearchBudget {
+  /// Latency tolerance delta (same unit as latencies: ns).
+  double delta = 0.0;
+  /// TimeExpired() threshold for the partition-space sweep, in seconds.
+  double time_budget_sec = 1e30;
+  /// Per-SolveModel limits, thread count and cancellation token.
+  milp::SolverParams solver;
+  FormulationOptions formulation;
+
+  /// True when a cancellation was requested through the solver token; the
+  /// sweep layers poll this between probes to unwind promptly.
+  [[nodiscard]] bool cancelled() const { return solver.cancel.cancelled(); }
+};
+
+}  // namespace sparcs::core

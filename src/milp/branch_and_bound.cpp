@@ -1,8 +1,15 @@
 #include "milp/branch_and_bound.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "milp/checker.hpp"
 #include "milp/compiled.hpp"
@@ -15,6 +22,253 @@
 namespace sparcs::milp {
 namespace {
 
+/// Position of a subproblem in the depth-first order of the full tree: the
+/// branch indices (trial order within each frame) leading from the root to
+/// the subproblem. std::vector's lexicographic compare gives exactly the DFS
+/// order, with a prefix ordering before its extensions (an ancestor region
+/// still contains leaves on both sides of any of its descendants).
+using Rank = std::vector<std::int32_t>;
+
+/// One donated unit of work: a bounds box (the donor's propagation fixpoint
+/// plus one untried branch) and the variable whose bound changed, so the
+/// receiving worker can re-run seeded propagation exactly as the donor's
+/// serial search would have.
+struct Subproblem {
+  Rank rank;
+  std::vector<double> lb, ub;
+  VarId seed = -1;  ///< -1: root subproblem (full propagation)
+};
+
+/// Shared state of one multi-threaded solve: the rank-ordered subproblem
+/// pool, the incumbent/candidate, global limits, and termination detection.
+class ParallelContext {
+ public:
+  ParallelContext(const SolverParams& params, const BnbCallbacks& callbacks,
+                  bool first_feasible_mode, bool objective_flipped,
+                  int num_workers)
+      : params_(params),
+        callbacks_(callbacks),
+        first_feasible_mode_(first_feasible_mode),
+        objective_flipped_(objective_flipped),
+        hungry_below_(2 * num_workers) {}
+
+  Stopwatch stopwatch;
+
+  // ---- Subproblem pool --------------------------------------------------
+
+  void push(Subproblem&& node) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // A candidate already beats every leaf of this subtree: drop it.
+      if (have_candidate_ && node.rank > candidate_rank_) return;
+      Rank key = node.rank;
+      pool_.emplace(std::move(key), std::move(node));
+      pool_size_.store(static_cast<int>(pool_.size()),
+                       std::memory_order_relaxed);
+    }
+    cv_.notify_one();
+  }
+
+  /// Hands out the rank-smallest open subproblem. Blocks while the pool is
+  /// empty but other workers may still donate; returns false once the solve
+  /// is over (pool drained and all workers idle, limits hit, or stopped).
+  bool acquire(Subproblem& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (stop_requested_.load(std::memory_order_relaxed) ||
+          global_limits_hit()) {
+        return false;
+      }
+      if (!pool_.empty()) {
+        out = std::move(pool_.begin()->second);
+        pool_.erase(pool_.begin());
+        pool_size_.store(static_cast<int>(pool_.size()),
+                         std::memory_order_relaxed);
+        ++active_;
+        return true;
+      }
+      if (active_ == 0) return false;
+      cv_.wait(lock);
+    }
+  }
+
+  /// Declares the previously acquired subproblem finished.
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    // Waiters must re-check the exit condition even when no work appeared.
+    cv_.notify_all();
+  }
+
+  /// True when workers should donate untried branches into the pool.
+  [[nodiscard]] bool hungry() const {
+    return pool_size_.load(std::memory_order_relaxed) < hungry_below_;
+  }
+
+  // ---- Limits -----------------------------------------------------------
+
+  void count_node() { total_nodes_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::int64_t total_nodes() const {
+    return total_nodes_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool global_limits_hit() const {
+    return stop_requested_.load(std::memory_order_relaxed) ||
+           total_nodes_.load(std::memory_order_relaxed) >=
+               params_.node_limit ||
+           params_.cancel.cancelled() ||
+           callbacks_.session_cancel.cancelled() ||
+           stopwatch.seconds() >= params_.time_limit_sec;
+  }
+
+  /// True when the run ended because of a budget/cancellation, not because
+  /// the tree was exhausted (mirrors the serial status mapping).
+  [[nodiscard]] bool budget_limits_hit() const {
+    return total_nodes_.load(std::memory_order_relaxed) >=
+               params_.node_limit ||
+           params_.cancel.cancelled() ||
+           callbacks_.session_cancel.cancelled() ||
+           stopwatch.seconds() >= params_.time_limit_sec;
+  }
+
+  void request_stop() {
+    stop_requested_.store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+
+  void flag_unbounded() {
+    unbounded_.store(true, std::memory_order_relaxed);
+    request_stop();
+  }
+
+  [[nodiscard]] bool unbounded() const {
+    return unbounded_.load(std::memory_order_relaxed);
+  }
+
+  // ---- First-feasible candidates ----------------------------------------
+  // In first-feasible (and pure-feasibility) mode the winner is the
+  // rank-smallest feasible leaf, which is exactly the solution the serial
+  // DFS returns; acceptance is therefore by rank, not by arrival time.
+
+  [[nodiscard]] std::uint64_t candidate_version() const {
+    return candidate_version_.load(std::memory_order_acquire);
+  }
+
+  /// Copies the current best candidate rank; false when none exists yet.
+  bool copy_candidate_rank(Rank* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!have_candidate_) return false;
+    *out = candidate_rank_;
+    return true;
+  }
+
+  /// Offers a feasible leaf; keeps it only when it precedes the current
+  /// candidate in DFS order. Prunes now-beaten pool entries either way.
+  bool offer_candidate(Rank rank, std::vector<double>&& values, double obj) {
+    IncumbentEvent event;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (have_candidate_ && !(rank < candidate_rank_)) return false;
+      have_candidate_ = true;
+      candidate_rank_ = std::move(rank);
+      candidate_values_ = std::move(values);
+      candidate_obj_ = obj;
+      candidate_version_.fetch_add(1, std::memory_order_release);
+      pool_.erase(pool_.upper_bound(candidate_rank_), pool_.end());
+      pool_size_.store(static_cast<int>(pool_.size()),
+                       std::memory_order_relaxed);
+      if (!callbacks_.on_incumbent) return true;
+      event.objective = objective_flipped_ ? -obj : obj;
+      event.values = &candidate_values_;
+      event.nodes_explored = total_nodes();
+      callbacks_.on_incumbent(event);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool has_candidate() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return have_candidate_;
+  }
+
+  // ---- Shared incumbent (optimality mode) --------------------------------
+
+  [[nodiscard]] double shared_best() const {
+    return best_obj_.load(std::memory_order_relaxed);
+  }
+
+  /// Offers an improving incumbent (minimized-space objective). Ties on the
+  /// objective are broken toward the DFS-smaller rank so repeated runs
+  /// converge to the same solution where timing allows.
+  bool offer_incumbent(Rank rank, std::vector<double>&& values, double obj) {
+    IncumbentEvent event;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (have_incumbent_ &&
+          (obj > incumbent_obj_ ||
+           (obj == incumbent_obj_ && !(rank < candidate_rank_)))) {
+        return false;
+      }
+      have_incumbent_ = true;
+      incumbent_obj_ = obj;
+      candidate_rank_ = std::move(rank);
+      candidate_values_ = std::move(values);
+      best_obj_.store(obj, std::memory_order_relaxed);
+      if (!callbacks_.on_incumbent) return true;
+      event.objective = objective_flipped_ ? -obj : obj;
+      event.values = &candidate_values_;
+      event.nodes_explored = total_nodes();
+      callbacks_.on_incumbent(event);
+    }
+    return true;
+  }
+
+  // ---- Result extraction (single-threaded, after join) -------------------
+
+  [[nodiscard]] bool have_solution() const {
+    return have_candidate_ || have_incumbent_;
+  }
+  [[nodiscard]] std::vector<double>&& take_values() {
+    return std::move(candidate_values_);
+  }
+  [[nodiscard]] double solution_objective() const {
+    return first_feasible_mode_ ? candidate_obj_ : incumbent_obj_;
+  }
+  [[nodiscard]] bool first_feasible_mode() const {
+    return first_feasible_mode_;
+  }
+
+ private:
+  const SolverParams& params_;
+  const BnbCallbacks& callbacks_;
+  const bool first_feasible_mode_;
+  const bool objective_flipped_;
+  const int hungry_below_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Rank, Subproblem> pool_;
+  int active_ = 0;
+  std::atomic<int> pool_size_{0};
+  std::atomic<std::int64_t> total_nodes_{0};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> unbounded_{false};
+
+  // Candidate (first-feasible mode) / incumbent (optimality mode); both use
+  // candidate_rank_/candidate_values_ for storage.
+  bool have_candidate_ = false;
+  bool have_incumbent_ = false;
+  Rank candidate_rank_;
+  std::vector<double> candidate_values_;
+  double candidate_obj_ = 0.0;
+  double incumbent_obj_ = kInfinity;
+  std::atomic<double> best_obj_{kInfinity};
+  std::atomic<std::uint64_t> candidate_version_{0};
+};
+
 /// One open decision in the DFS stack.
 struct Frame {
   VarId var = -1;
@@ -26,15 +280,25 @@ struct Frame {
 
 class BnbSearch {
  public:
-  BnbSearch(const Model& model, const SolverParams& params)
+  BnbSearch(const Model& model, const SolverParams& params,
+            const BnbCallbacks& callbacks, ParallelContext* ctx = nullptr)
       : params_(params),
+        callbacks_(callbacks),
+        ctx_(ctx),
         compiled_(model, /*with_objective_cutoff=*/model.has_objective()),
         domains_(compiled_),
         propagator_(compiled_, params.feasibility_tol,
                     params.max_propagation_rounds),
         model_(model) {}
 
+  /// Single-threaded entry point (ctx == nullptr).
   MilpSolution run();
+
+  /// Worker entry point: drains the shared pool until the solve is over.
+  void run_worker();
+
+  /// Totals of this worker, finalized by run_worker().
+  [[nodiscard]] const SolverStats& worker_stats() const { return stats_; }
 
  private:
   /// First unfixed integral variable in branch-priority order, or -1.
@@ -49,11 +313,23 @@ class BnbSearch {
   /// Handles a fully integral node. Returns true when the search must stop.
   bool handle_leaf(MilpSolution& result);
   void record_incumbent(std::vector<double> values, MilpSolution& result);
+  void worker_record(std::vector<double> values, double obj);
   bool limits_hit() const;
+  bool cancel_requested() const;
   void absorb_lp(const LpResult& lp_result);
   void export_stats(MilpSolution& result);
+  void search_loop(MilpSolution& result);
+  void donate_siblings(Frame& frame);
+  void sync_shared_incumbent();
+  bool position_pruned();
+  bool first_feasible_mode() const {
+    return params_.stop_at_first_feasible ||
+           compiled_.objective_terms().empty();
+  }
 
   const SolverParams& params_;
+  BnbCallbacks callbacks_;
+  ParallelContext* ctx_ = nullptr;
   CompiledModel compiled_;
   Domains domains_;
   Propagator propagator_;
@@ -62,6 +338,13 @@ class BnbSearch {
   PropagationStats prop_stats_;
   SolverStats stats_;
   std::vector<Frame> stack_;
+  /// Branch index applied at each stack frame (-1 until the frame applies
+  /// its first branch); base_rank_ ++ path_ is this worker's DFS position.
+  std::vector<std::int32_t> path_;
+  Rank base_rank_;
+  std::uint64_t seen_candidate_version_ = ~std::uint64_t{0};
+  Rank candidate_rank_copy_;
+  bool have_candidate_copy_ = false;
   std::vector<double> incumbent_;
   double incumbent_obj_ = kInfinity;
   bool have_incumbent_ = false;
@@ -243,6 +526,10 @@ void BnbSearch::record_incumbent(std::vector<double> values,
   for (const LinTerm& t : compiled_.objective_terms()) {
     obj += t.coef * values[static_cast<std::size_t>(t.var)];
   }
+  if (ctx_ != nullptr) {
+    worker_record(std::move(values), obj);
+    return;
+  }
   if (have_incumbent_ && obj >= incumbent_obj_) return;
   incumbent_ = std::move(values);
   incumbent_obj_ = obj;
@@ -250,6 +537,14 @@ void BnbSearch::record_incumbent(std::vector<double> values,
   ++stats_.incumbent_updates;
   if (compiled_.has_cutoff_row()) {
     compiled_.set_cutoff(incumbent_obj_ - params_.objective_improvement);
+  }
+  if (callbacks_.on_incumbent) {
+    IncumbentEvent event;
+    event.objective =
+        compiled_.objective_flipped() ? -incumbent_obj_ : incumbent_obj_;
+    event.values = &incumbent_;
+    event.nodes_explored = nodes_;
+    callbacks_.on_incumbent(event);
   }
   SPARCS_DLOG << "incumbent objective " << incumbent_obj_ << " at node "
               << nodes_;
@@ -261,9 +556,79 @@ void BnbSearch::record_incumbent(std::vector<double> values,
   }
 }
 
+void BnbSearch::worker_record(std::vector<double> values, double obj) {
+  Rank leaf = base_rank_;
+  leaf.insert(leaf.end(), path_.begin(), path_.end());
+  if (first_feasible_mode()) {
+    if (ctx_->offer_candidate(std::move(leaf), std::move(values), obj)) {
+      ++stats_.incumbent_updates;
+    }
+    // Every remaining leaf of this subproblem follows the one just found in
+    // DFS order, so whether or not the offer won, this subtree is done.
+    stop_ = true;
+    return;
+  }
+  if (have_incumbent_ && obj >= incumbent_obj_) return;
+  if (ctx_->offer_incumbent(std::move(leaf), std::move(values), obj)) {
+    ++stats_.incumbent_updates;
+    incumbent_obj_ = obj;
+    have_incumbent_ = true;
+    if (compiled_.has_cutoff_row()) {
+      compiled_.set_cutoff(incumbent_obj_ - params_.objective_improvement);
+    }
+  } else {
+    sync_shared_incumbent();  // someone else got there first
+  }
+}
+
+void BnbSearch::sync_shared_incumbent() {
+  if (first_feasible_mode()) return;
+  const double best = ctx_->shared_best();
+  if (best < incumbent_obj_) {
+    incumbent_obj_ = best;
+    have_incumbent_ = true;
+    if (compiled_.has_cutoff_row()) {
+      compiled_.set_cutoff(incumbent_obj_ - params_.objective_improvement);
+    }
+  }
+}
+
+bool BnbSearch::cancel_requested() const {
+  return params_.cancel.cancelled() || callbacks_.session_cancel.cancelled();
+}
+
 bool BnbSearch::limits_hit() const {
+  if (ctx_ != nullptr) return ctx_->global_limits_hit();
+  if (cancel_requested()) return true;
   return nodes_ >= params_.node_limit ||
          stopwatch_.seconds() >= params_.time_limit_sec;
+}
+
+bool BnbSearch::position_pruned() {
+  const std::uint64_t version = ctx_->candidate_version();
+  if (version != seen_candidate_version_) {
+    seen_candidate_version_ = version;
+    have_candidate_copy_ = ctx_->copy_candidate_rank(&candidate_rank_copy_);
+  }
+  if (!have_candidate_copy_) return false;
+  // DFS never revisits earlier ranks, so once this worker's position passes
+  // the candidate every leaf it could still reach is DFS-later: abandon.
+  // A position that is a prefix of the candidate compares smaller (its
+  // subtree still holds leaves preceding the candidate) and keeps running.
+  const Rank& cand = candidate_rank_copy_;
+  std::size_t i = 0;
+  for (const std::int32_t digit : base_rank_) {
+    if (i >= cand.size()) return true;  // candidate is a strict prefix
+    if (digit != cand[i]) return digit > cand[i];
+    ++i;
+  }
+  for (const std::int32_t digit : path_) {
+    if (digit < 0) break;  // unapplied top frame: position ends here
+    if (i >= cand.size()) return true;
+    if (digit != cand[i]) return digit > cand[i];
+    ++i;
+  }
+  return false;  // equal to or a prefix of the candidate
 }
 
 bool BnbSearch::handle_leaf(MilpSolution& result) {
@@ -276,6 +641,11 @@ bool BnbSearch::handle_leaf(MilpSolution& result) {
       record_incumbent(std::move(candidate), result);
     }
   } else if (unbounded && !have_incumbent_) {
+    if (ctx_ != nullptr) {
+      ctx_->flag_unbounded();
+      stop_ = true;
+      return true;
+    }
     result.status = SolveStatus::kUnbounded;
     stop_ = true;
     return true;
@@ -283,20 +653,35 @@ bool BnbSearch::handle_leaf(MilpSolution& result) {
   return stop_;
 }
 
-MilpSolution BnbSearch::run() {
-  MilpSolution result;
-
-  // Root propagation doubles as presolve.
-  const bool root_ok = propagator_.propagate(domains_, {}, prop_stats_);
-  stats_.presolve_bounds_tightened = prop_stats_.bounds_tightened;
-  stats_.presolve_vars_fixed = prop_stats_.vars_fixed;
-  if (!root_ok) {
-    result.status = SolveStatus::kInfeasible;
-    result.seconds = stopwatch_.seconds();
-    export_stats(result);
-    return result;
+void BnbSearch::donate_siblings(Frame& frame) {
+  // The domains currently sit at this frame's pre-branch fixpoint, so a
+  // plain bounds snapshot plus one branch box reproduces exactly the state
+  // the serial search would enter that branch with.
+  const int n = compiled_.num_vars();
+  std::vector<double> lb(static_cast<std::size_t>(n));
+  std::vector<double> ub(static_cast<std::size_t>(n));
+  for (VarId v = 0; v < n; ++v) {
+    lb[static_cast<std::size_t>(v)] = domains_.lb(v);
+    ub[static_cast<std::size_t>(v)] = domains_.ub(v);
   }
+  for (std::size_t j = 1; j < frame.branches.size(); ++j) {
+    Subproblem node;
+    node.rank = base_rank_;
+    node.rank.insert(node.rank.end(), path_.begin(), path_.end());
+    node.rank.push_back(static_cast<std::int32_t>(j));
+    node.lb = lb;
+    node.ub = ub;
+    const auto [blo, bhi] = frame.branches[j];
+    const auto var = static_cast<std::size_t>(frame.var);
+    node.lb[var] = std::max(node.lb[var], blo);
+    node.ub[var] = std::min(node.ub[var], bhi);
+    node.seed = frame.var;
+    ctx_->push(std::move(node));
+  }
+  frame.branches.resize(1);
+}
 
+void BnbSearch::search_loop(MilpSolution& result) {
   const bool lp_bounding =
       params_.use_lp_bounding &&
       compiled_.num_vars() <= params_.lp_bounding_max_vars;
@@ -308,6 +693,11 @@ MilpSolution BnbSearch::run() {
     if (limits_hit()) break;
     if (descend) {
       ++nodes_;
+      if (ctx_ != nullptr) {
+        ctx_->count_node();
+        sync_shared_incumbent();
+        if (position_pruned()) break;
+      }
       if (params_.log_every_nodes > 0 &&
           nodes_ % params_.log_every_nodes == 0) {
         SPARCS_ILOG << "nodes=" << nodes_ << " depth=" << stack_.size()
@@ -329,10 +719,14 @@ MilpSolution BnbSearch::run() {
       frame.var = v;
       frame.branches = make_branches(v);
       frame.trail_mark = domains_.checkpoint();
-      stack_.push_back(std::move(frame));
-      if (static_cast<std::int64_t>(stack_.size()) > stats_.max_depth) {
-        stats_.max_depth = static_cast<std::int64_t>(stack_.size());
+      if (ctx_ != nullptr && frame.branches.size() > 1 && ctx_->hungry()) {
+        donate_siblings(frame);
       }
+      stack_.push_back(std::move(frame));
+      path_.push_back(-1);
+      const auto depth =
+          static_cast<std::int64_t>(stack_.size() + base_rank_.size());
+      if (depth > stats_.max_depth) stats_.max_depth = depth;
     }
 
     // Try the next branch of the top frame; pop exhausted frames.
@@ -341,10 +735,12 @@ MilpSolution BnbSearch::run() {
     domains_.rollback(top.trail_mark);
     if (top.next >= top.branches.size()) {
       stack_.pop_back();
+      path_.pop_back();
       descend = false;
       continue;
     }
     const auto [blo, bhi] = top.branches[top.next++];
+    path_.back() = static_cast<std::int32_t>(top.next - 1);
     const VarId v = top.var;
     bool ok = true;
     if (blo > domains_.lb(v)) ok = ok && (domains_.set_lb(v, blo), true);
@@ -361,6 +757,23 @@ MilpSolution BnbSearch::run() {
     }
     descend = true;
   }
+}
+
+MilpSolution BnbSearch::run() {
+  MilpSolution result;
+
+  // Root propagation doubles as presolve.
+  const bool root_ok = propagator_.propagate(domains_, {}, prop_stats_);
+  stats_.presolve_bounds_tightened = prop_stats_.bounds_tightened;
+  stats_.presolve_vars_fixed = prop_stats_.vars_fixed;
+  if (!root_ok) {
+    result.status = SolveStatus::kInfeasible;
+    result.seconds = stopwatch_.seconds();
+    export_stats(result);
+    return result;
+  }
+
+  search_loop(result);
 
   export_stats(result);
   result.seconds = stopwatch_.seconds();
@@ -384,12 +797,143 @@ MilpSolution BnbSearch::run() {
   return result;
 }
 
+void BnbSearch::run_worker() {
+  Subproblem node;
+  MilpSolution sink;  // workers report through ctx_, never through a result
+  while (ctx_->acquire(node)) {
+    base_rank_ = std::move(node.rank);
+    domains_.reset_to(node.lb, node.ub);
+    stack_.clear();
+    path_.clear();
+    stop_ = false;
+    seen_candidate_version_ = ~std::uint64_t{0};
+    have_candidate_copy_ = false;
+    sync_shared_incumbent();
+
+    bool ok = true;
+    std::vector<VarId> seeds;
+    if (node.seed >= 0) {
+      if (domains_.lb(node.seed) > domains_.ub(node.seed)) {
+        ok = false;
+      } else {
+        seeds.push_back(node.seed);
+      }
+    }
+    if (ok) ok = propagator_.propagate(domains_, seeds, prop_stats_);
+    if (node.seed < 0) {
+      // Root subproblem: its fixpoint is the solver's presolve.
+      stats_.presolve_bounds_tightened = prop_stats_.bounds_tightened;
+      stats_.presolve_vars_fixed = prop_stats_.vars_fixed;
+    }
+    if (ok) {
+      search_loop(sink);
+    } else if (node.seed >= 0) {
+      ++stats_.nodes_pruned_infeasible;
+    }
+    ctx_->release();
+  }
+  stats_.nodes_explored = nodes_;
+  stats_.propagated_constraints = prop_stats_.constraints_processed;
+  stats_.bounds_tightened = prop_stats_.bounds_tightened;
+  stats_.vars_fixed = prop_stats_.vars_fixed;
+  stats_.conflicts = prop_stats_.conflicts;
+}
+
+/// Resolves SolverParams::num_threads against the hardware and the model
+/// size (tiny models finish before a pool spins up).
+int effective_threads(const SolverParams& params, const Model& model) {
+  if (params.num_threads == 1) return 1;
+  int threads = params.num_threads > 0
+                    ? params.num_threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads <= 1) return 1;
+  constexpr int kParallelMinVars = 48;
+  if (model.num_vars() < kParallelMinVars) return 1;
+  return threads;
+}
+
+MilpSolution solve_parallel(const Model& model, const SolverParams& params,
+                            const BnbCallbacks& callbacks, int num_workers) {
+  // Mode flags must be known before workers start; compile once (without the
+  // cutoff row) to read the normalized objective.
+  const CompiledModel probe(model, /*with_objective_cutoff=*/false);
+  const bool first_feasible_mode =
+      params.stop_at_first_feasible || probe.objective_terms().empty();
+  const bool flipped = probe.objective_flipped();
+
+  ParallelContext ctx(params, callbacks, first_feasible_mode, flipped,
+                      num_workers);
+  {
+    Subproblem root;
+    root.lb.reserve(static_cast<std::size_t>(probe.num_vars()));
+    root.ub.reserve(static_cast<std::size_t>(probe.num_vars()));
+    for (VarId v = 0; v < probe.num_vars(); ++v) {
+      root.lb.push_back(probe.lb(v));
+      root.ub.push_back(probe.ub(v));
+    }
+    ctx.push(std::move(root));
+  }
+
+  std::vector<SolverStats> worker_stats(static_cast<std::size_t>(num_workers));
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_workers));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers.emplace_back([&, i] {
+      try {
+        BnbSearch search(model, params, callbacks, &ctx);
+        search.run_worker();
+        worker_stats[static_cast<std::size_t>(i)] = search.worker_stats();
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+        ctx.request_stop();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  MilpSolution result;
+  for (const SolverStats& stats : worker_stats) result.stats.merge(stats);
+  result.nodes_explored = result.stats.nodes_explored;
+  result.propagations = result.stats.propagated_constraints;
+  result.seconds = ctx.stopwatch.seconds();
+
+  const bool limit_stopped = ctx.budget_limits_hit();
+  if (ctx.have_solution()) {
+    if (first_feasible_mode) {
+      result.status = params.stop_at_first_feasible ? SolveStatus::kFeasible
+                                                    : SolveStatus::kOptimal;
+    } else {
+      result.status =
+          limit_stopped ? SolveStatus::kFeasible : SolveStatus::kOptimal;
+    }
+    const double obj = ctx.solution_objective();
+    result.values = ctx.take_values();
+    result.objective = flipped ? -obj : obj;
+  } else if (ctx.unbounded()) {
+    result.status = SolveStatus::kUnbounded;
+  } else {
+    result.status =
+        limit_stopped ? SolveStatus::kLimitReached : SolveStatus::kInfeasible;
+  }
+  return result;
+}
+
 }  // namespace
 
 MilpSolution solve_branch_and_bound(const Model& model,
-                                    const SolverParams& params) {
-  BnbSearch search(model, params);
-  return search.run();
+                                    const SolverParams& params,
+                                    const BnbCallbacks& callbacks) {
+  const int threads = effective_threads(params, model);
+  if (threads <= 1) {
+    BnbSearch search(model, params, callbacks);
+    return search.run();
+  }
+  return solve_parallel(model, params, callbacks, threads);
 }
 
 }  // namespace sparcs::milp

@@ -1,4 +1,4 @@
-// Depth-first branch & bound over propagated domains.
+// Branch & bound over propagated domains, single- or multi-threaded.
 //
 // Search skeleton: propagate to a fixpoint; if a conflict arises backtrack;
 // if integral variables remain, branch on the highest-priority one (value
@@ -8,6 +8,13 @@
 // Optimality is enforced through a dynamic objective-cutoff row, so the same
 // machinery serves both the paper's constraint-satisfaction mode
 // (stop_at_first_feasible) and the optimal reference runs.
+//
+// With SolverParams::num_threads != 1 the tree is explored by a worker pool
+// fed from a rank-ordered subproblem pool (ranks are branch-index paths, so
+// rank order == the serial DFS order). Workers donate untried sibling
+// branches whenever the pool runs low, share the incumbent through an atomic
+// objective, and in first-feasible mode accept candidates in rank order —
+// which makes the returned solution identical to the single-threaded one.
 #pragma once
 
 #include "milp/model.hpp"
@@ -15,8 +22,18 @@
 
 namespace sparcs::milp {
 
-/// Solves `model` with propagation-based depth-first branch & bound.
+/// Out-of-band hooks threaded from the Solver session into the search.
+struct BnbCallbacks {
+  /// Session-level cancellation (Solver::cancel()), checked alongside the
+  /// caller-supplied SolverParams::cancel token.
+  CancelToken session_cancel;
+  /// Invoked on every accepted incumbent; may be empty.
+  IncumbentCallback on_incumbent;
+};
+
+/// Solves `model` with propagation-based branch & bound.
 MilpSolution solve_branch_and_bound(const Model& model,
-                                    const SolverParams& params);
+                                    const SolverParams& params,
+                                    const BnbCallbacks& callbacks = {});
 
 }  // namespace sparcs::milp

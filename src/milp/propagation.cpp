@@ -32,6 +32,15 @@ bool Domains::set_ub(VarId v, double value) {
   return true;
 }
 
+void Domains::reset_to(const std::vector<double>& lb,
+                       const std::vector<double>& ub) {
+  SPARCS_CHECK(lb.size() == lb_.size() && ub.size() == ub_.size(),
+               "domain snapshot arity mismatch");
+  lb_ = lb;
+  ub_ = ub;
+  trail_.clear();
+}
+
 void Domains::rollback(std::size_t mark) {
   while (trail_.size() > mark) {
     const TrailEntry& e = trail_.back();

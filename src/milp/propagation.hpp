@@ -40,6 +40,10 @@ class Domains {
   /// Restores all bounds recorded after `mark`.
   void rollback(std::size_t mark);
 
+  /// Replaces every bound and clears the trail. Used by branch & bound
+  /// workers to seat a subproblem snapshot taken on another thread.
+  void reset_to(const std::vector<double>& lb, const std::vector<double>& ub);
+
  private:
   struct TrailEntry {
     VarId var;

@@ -1,5 +1,7 @@
 #include "milp/solver.hpp"
 
+#include <utility>
+
 #include "milp/branch_and_bound.hpp"
 #include "support/metrics.hpp"
 #include "support/span.hpp"
@@ -56,11 +58,22 @@ void export_to_registry(const MilpSolution& solution) {
 
 }  // namespace
 
-MilpSolution solve(const Model& model, const SolverParams& params) {
+Solver::Solver(const Model& model, SolverParams params)
+    : model_(model),
+      params_(std::move(params)),
+      cancel_(CancelToken::create()) {}
+
+MilpSolution Solver::solve() {
+  // The span keeps the historical "milp::solve" name so trace consumers see
+  // an unchanged event stream across the free-function -> session migration.
   trace::Span span("milp::solve");
-  span.arg("vars", static_cast<std::int64_t>(model.num_vars()));
-  span.arg("constraints", static_cast<std::int64_t>(model.num_constraints()));
-  MilpSolution solution = solve_branch_and_bound(model, params);
+  span.arg("vars", static_cast<std::int64_t>(model_.num_vars()));
+  span.arg("constraints",
+           static_cast<std::int64_t>(model_.num_constraints()));
+  BnbCallbacks callbacks;
+  callbacks.session_cancel = cancel_;
+  callbacks.on_incumbent = on_incumbent_;
+  MilpSolution solution = solve_branch_and_bound(model_, params_, callbacks);
   span.arg("status", to_string(solution.status));
   span.arg("nodes", solution.stats.nodes_explored);
   span.arg("simplex_iterations", solution.stats.simplex_iterations);
@@ -68,15 +81,35 @@ MilpSolution solve(const Model& model, const SolverParams& params) {
   return solution;
 }
 
+void Solver::cancel() { cancel_.request_cancel(); }
+
+void Solver::reset_cancel() { cancel_ = CancelToken::create(); }
+
+void Solver::set_incumbent_callback(IncumbentCallback callback) {
+  on_incumbent_ = std::move(callback);
+}
+
+SolverParams first_feasible_params(SolverParams base) {
+  base.stop_at_first_feasible = true;
+  return base;
+}
+
+SolverParams optimality_params(SolverParams base) {
+  base.stop_at_first_feasible = false;
+  base.use_lp_bounding = true;
+  return base;
+}
+
+MilpSolution solve(const Model& model, const SolverParams& params) {
+  return Solver(model, params).solve();
+}
+
 MilpSolution solve_first_feasible(const Model& model, SolverParams params) {
-  params.stop_at_first_feasible = true;
-  return solve(model, params);
+  return Solver(model, first_feasible_params(std::move(params))).solve();
 }
 
 MilpSolution solve_to_optimality(const Model& model, SolverParams params) {
-  params.stop_at_first_feasible = false;
-  params.use_lp_bounding = true;
-  return solve(model, params);
+  return Solver(model, optimality_params(std::move(params))).solve();
 }
 
 }  // namespace sparcs::milp

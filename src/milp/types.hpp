@@ -9,8 +9,11 @@
 // mode for the small reference experiments; both are provided.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +51,51 @@ enum class SolveStatus : std::uint8_t {
 
 [[nodiscard]] std::string to_string(SolveStatus status);
 
+/// Shareable cooperative-cancellation handle. Copies share one flag, so a
+/// token stored in SolverParams keeps working after the params are copied
+/// into a Solver session. A default-constructed token is inert: it never
+/// reports cancellation and ignores requests. All operations are thread-safe.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Makes a live token (the only way to obtain a non-inert one).
+  [[nodiscard]] static CancelToken create() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// True when this token can carry a cancellation request.
+  [[nodiscard]] bool valid() const { return flag_ != nullptr; }
+
+  /// Requests cancellation; every copy of the token observes it.
+  void request_cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Snapshot handed to incumbent callbacks when the search accepts a new best
+/// solution. `values` points at solver-owned storage that is only valid for
+/// the duration of the callback.
+struct IncumbentEvent {
+  double objective = 0.0;  ///< sign-corrected (caller's min/max convention)
+  const std::vector<double>* values = nullptr;
+  std::int64_t nodes_explored = 0;  ///< nodes explored when accepted
+};
+
+/// Invoked on every accepted incumbent. In multi-threaded solves the callback
+/// runs on a worker thread under the incumbent lock: keep it cheap, and do
+/// not call back into the solver except CancelToken::request_cancel().
+using IncumbentCallback = std::function<void(const IncumbentEvent&)>;
+
 /// Tuning knobs of the MILP solver.
 struct SolverParams {
   /// Stop as soon as any feasible solution is found (constraint-satisfaction
@@ -78,11 +126,25 @@ struct SolverParams {
 
   /// Emit per-node progress at kInfo level every this many nodes (0 = off).
   std::int64_t log_every_nodes = 0;
+
+  /// Branch & bound worker threads. 0 = hardware_concurrency; 1 runs the
+  /// legacy single-threaded search and preserves today's exact node order.
+  /// With more than one worker the returned first-feasible solution is still
+  /// deterministic (identical to the single-threaded one) because candidates
+  /// are accepted in depth-first rank order; see DESIGN.md.
+  int num_threads = 0;
+
+  /// Cooperative cancellation: when the token reports cancellation the solve
+  /// stops at the next node boundary and returns kLimitReached (or kFeasible
+  /// when an incumbent is already in hand). Inert by default.
+  CancelToken cancel;
 };
 
 /// Per-layer search statistics of one MILP solve, filled by the simplex,
 /// propagation and branch & bound layers and returned in MilpSolution. All
-/// fields are plain accumulators (no atomics): a solve is single-threaded.
+/// fields are plain accumulators (no atomics): each worker thread fills its
+/// own instance and the per-worker copies are merge()d on exit, so the
+/// reported totals are exact at any thread count.
 struct SolverStats {
   // Branch & bound.
   std::int64_t nodes_explored = 0;

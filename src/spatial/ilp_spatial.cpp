@@ -99,7 +99,8 @@ IlpSpatialResult spatial_partition_ilp(const Netlist& netlist,
     solver_params.objective_improvement =
         std::max(solver_params.objective_improvement, 1e-3);
   }
-  const milp::MilpSolution solution = milp::solve(model, solver_params);
+  milp::Solver solver(model, solver_params);
+  const milp::MilpSolution solution = solver.solve();
 
   IlpSpatialResult result;
   result.status = solution.status;

@@ -5,46 +5,13 @@
 #include <cmath>
 #include <sstream>
 
+#include "support/report_writer.hpp"
 #include "support/strings.hpp"
 
 namespace sparcs::metrics {
 namespace {
 
 std::atomic<bool> g_enabled{false};
-
-/// Formats a double as a JSON-safe number (JSON has no inf/nan literals).
-std::string json_number(double value) {
-  if (!std::isfinite(value)) return "0";
-  return str_format("%.12g", value);
-}
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += str_format("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 std::uint64_t monotonic_ns() {
   return static_cast<std::uint64_t>(
@@ -95,38 +62,45 @@ void Timer::reset() {
 }
 
 std::string MetricsSnapshot::to_json() const {
-  std::ostringstream os;
-  os << "{\n  \"counters\": {";
-  for (std::size_t i = 0; i < counters.size(); ++i) {
-    os << (i ? ",\n    " : "\n    ") << "\"" << json_escape(counters[i].name)
-       << "\": " << counters[i].value;
+  report::ReportWriter w;
+  w.begin_object();
+  w.begin_object("counters");
+  for (const auto& counter : counters) {
+    w.field(counter.name, counter.value);
   }
-  os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
-  for (std::size_t i = 0; i < gauges.size(); ++i) {
-    os << (i ? ",\n    " : "\n    ") << "\"" << json_escape(gauges[i].name)
-       << "\": " << json_number(gauges[i].value);
+  w.end_object();
+  w.begin_object("gauges");
+  for (const auto& gauge : gauges) {
+    // Gauges can legitimately hold inf; the shared writer's sentinel keeps
+    // the document parseable.
+    w.field(gauge.name, std::isfinite(gauge.value) ? gauge.value : 0.0);
   }
-  os << (gauges.empty() ? "" : "\n  ") << "},\n  \"timers\": {";
-  for (std::size_t i = 0; i < timers.size(); ++i) {
-    const Timer::Stats& s = timers[i].stats;
-    const double mean = s.count > 0 ? s.sum_sec / static_cast<double>(s.count)
-                                    : 0.0;
-    os << (i ? ",\n    " : "\n    ") << "\"" << json_escape(timers[i].name)
-       << "\": {\"count\": " << s.count << ", \"sum_sec\": "
-       << json_number(s.sum_sec) << ", \"min_sec\": " << json_number(s.min_sec)
-       << ", \"max_sec\": " << json_number(s.max_sec)
-       << ", \"mean_sec\": " << json_number(mean)
-       << ", \"buckets_log2_us\": [";
-    bool first = true;
+  w.end_object();
+  w.begin_object("timers");
+  for (const auto& timer : timers) {
+    const Timer::Stats& s = timer.stats;
+    const double mean =
+        s.count > 0 ? s.sum_sec / static_cast<double>(s.count) : 0.0;
+    w.begin_object(timer.name);
+    w.field("count", s.count);
+    w.field("sum_sec", s.sum_sec);
+    w.field("min_sec", s.min_sec);
+    w.field("max_sec", s.max_sec);
+    w.field("mean_sec", mean);
+    w.begin_array("buckets_log2_us");
     for (std::size_t b = 0; b < s.buckets.size(); ++b) {
       if (s.buckets[b] == 0) continue;
-      os << (first ? "" : ", ") << "[" << b << ", " << s.buckets[b] << "]";
-      first = false;
+      w.begin_array();
+      w.element(static_cast<std::int64_t>(b));
+      w.element(s.buckets[b]);
+      w.end_array();
     }
-    os << "]}";
+    w.end_array();
+    w.end_object();
   }
-  os << (timers.empty() ? "" : "\n  ") << "}\n}\n";
-  return os.str();
+  w.end_object();
+  w.end_object();
+  return w.str();
 }
 
 Counter& Registry::counter(const std::string& name) {

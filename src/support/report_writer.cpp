@@ -1,0 +1,135 @@
+#include "support/report_writer.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace sparcs::report {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return value > 0 ? "1e308" : "-1e308";
+  return str_format("%.12g", value);
+}
+
+ReportWriter::ReportWriter() = default;
+
+void ReportWriter::comma() {
+  if (wrote_value_.empty()) return;
+  if (wrote_value_.back()) os_ << ",";
+  wrote_value_.back() = true;
+}
+
+void ReportWriter::key_prefix(const std::string& key) {
+  comma();
+  os_ << "\"" << json_escape(key) << "\": ";
+}
+
+void ReportWriter::begin_object() {
+  comma();
+  os_ << "{";
+  wrote_value_.push_back(false);
+}
+
+void ReportWriter::begin_object(const std::string& key) {
+  key_prefix(key);
+  os_ << "{";
+  wrote_value_.push_back(false);
+}
+
+void ReportWriter::end_object() {
+  SPARCS_CHECK(!wrote_value_.empty(), "end_object without begin_object");
+  wrote_value_.pop_back();
+  os_ << "}";
+}
+
+void ReportWriter::begin_array(const std::string& key) {
+  key_prefix(key);
+  os_ << "[";
+  wrote_value_.push_back(false);
+}
+
+void ReportWriter::begin_array() {
+  comma();
+  os_ << "[";
+  wrote_value_.push_back(false);
+}
+
+void ReportWriter::element(std::int64_t value) {
+  comma();
+  os_ << value;
+}
+
+void ReportWriter::element(double value) {
+  comma();
+  os_ << json_number(value);
+}
+
+void ReportWriter::end_array() {
+  SPARCS_CHECK(!wrote_value_.empty(), "end_array without begin_array");
+  wrote_value_.pop_back();
+  os_ << "]";
+}
+
+void ReportWriter::field(const std::string& key, const std::string& value) {
+  key_prefix(key);
+  os_ << "\"" << json_escape(value) << "\"";
+}
+
+void ReportWriter::field(const std::string& key, const char* value) {
+  field(key, std::string(value));
+}
+
+void ReportWriter::field(const std::string& key, double value) {
+  key_prefix(key);
+  os_ << json_number(value);
+}
+
+void ReportWriter::field(const std::string& key, std::int64_t value) {
+  key_prefix(key);
+  os_ << value;
+}
+
+void ReportWriter::field(const std::string& key, int value) {
+  field(key, static_cast<std::int64_t>(value));
+}
+
+void ReportWriter::field(const std::string& key, bool value) {
+  key_prefix(key);
+  os_ << (value ? "true" : "false");
+}
+
+std::string ReportWriter::str() const {
+  SPARCS_CHECK(wrote_value_.empty(), "unbalanced begin/end in report");
+  return os_.str();
+}
+
+}  // namespace sparcs::report

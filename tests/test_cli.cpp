@@ -141,6 +141,54 @@ TEST(CliTest, WritesMetricsAndTraceJson) {
   std::remove(trace.c_str());
 }
 
+TEST(CliTest, TraceJsonIsEmittedEvenWhenLogsAreOff) {
+  // Span emission must not depend on the log level: --trace-json writes the
+  // file (with real spans in it) even under --quiet / --log-level off.
+  const std::string trace = ::testing::TempDir() + "/cli_trace_quiet.json";
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet",
+                            "--log-level", "off", "--trace-json", trace});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_EQ(r.out.find("Dmax(ns)"), std::string::npos);  // table suppressed
+
+  std::ifstream trace_in(trace);
+  ASSERT_TRUE(trace_in.good());
+  std::stringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  EXPECT_NE(trace_text.str().find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace_text.str().find("milp::solve"), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(CliTest, WritesReportJson) {
+  const std::string report = ::testing::TempDir() + "/cli_report.json";
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet",
+                            "--report-json", report});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  std::ifstream report_in(report);
+  ASSERT_TRUE(report_in.good());
+  std::stringstream report_text;
+  report_text << report_in.rdbuf();
+  EXPECT_EQ(report_text.str().front(), '{');
+  EXPECT_NE(report_text.str().find("\"feasible\": true"), std::string::npos);
+  EXPECT_NE(report_text.str().find("\"trace\""), std::string::npos);
+  EXPECT_NE(report_text.str().find("\"solver_stats\""), std::string::npos);
+  std::remove(report.c_str());
+}
+
+TEST(CliTest, ThreadsFlagIsAcceptedAndValidated) {
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet",
+                            "--threads", "2"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("best:"), std::string::npos);
+
+  const CliRun bad = run_cli({"--workload", "ar", "--threads", "-1"});
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.err.find("--threads"), std::string::npos);
+}
+
 TEST(CliTest, LogLevelFlagControlsTraceTable) {
   const CliRun loud = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
                                "64", "--ct", "50", "--delta", "20",

@@ -19,9 +19,9 @@ arch::Device ar_device(double ct_ns) {
 
 ReduceLatencyParams reduce_params(double delta) {
   ReduceLatencyParams params;
-  params.delta = delta;
-  params.solver.node_limit = 200000;
-  params.solver.time_limit_sec = 20.0;
+  params.budget.delta = delta;
+  params.budget.solver.node_limit = 200000;
+  params.budget.solver.time_limit_sec = 20.0;
   return params;
 }
 
@@ -95,8 +95,8 @@ TEST(RefinePartitionsTest, SkipsInfeasibleBoundsThenSolves) {
   RefinePartitionsParams params;
   params.alpha = 0;
   params.gamma = 1;
-  params.delta = 20.0;
-  params.solver.node_limit = 200000;
+  params.budget.delta = 20.0;
+  params.budget.solver.node_limit = 200000;
   const RefinePartitionsResult r = refine_partitions_bound(g, dev, params);
   ASSERT_TRUE(r.best.has_value());
   EXPECT_GE(r.best_num_partitions, min_area_partitions(g, dev));
@@ -110,7 +110,7 @@ TEST(RefinePartitionsTest, LargeReconfigStopsAtLowerBound) {
   // MinLatency(N+1) >= Da rule must stop the sweep.
   const arch::Device dev = ar_device(1e7);
   RefinePartitionsParams params;
-  params.delta = 20.0;
+  params.budget.delta = 20.0;
   const RefinePartitionsResult r = refine_partitions_bound(g, dev, params);
   ASSERT_TRUE(r.best.has_value());
   EXPECT_TRUE(r.stopped_by_lower_bound);
@@ -134,7 +134,7 @@ TEST(RefinePartitionsTest, SmallReconfigExploresLargerN) {
   // so the best N should exceed the minimum.
   const arch::Device dev = ar_device(1.0);
   RefinePartitionsParams params;
-  params.delta = 10.0;
+  params.budget.delta = 10.0;
   params.gamma = 1;
   const RefinePartitionsResult r = refine_partitions_bound(g, dev, params);
   ASSERT_TRUE(r.best.has_value());
@@ -155,7 +155,7 @@ TEST(PartitionerTest, EndToEndReportIsConsistent) {
   const graph::TaskGraph g = workloads::ar_filter_task_graph();
   const arch::Device dev = ar_device(50);
   PartitionerOptions options;
-  options.delta = 20.0;
+  options.budget.delta = 20.0;
   const PartitionerReport report = TemporalPartitioner(g, dev, options).run();
   ASSERT_TRUE(report.feasible);
   ASSERT_TRUE(report.best.has_value());
@@ -170,7 +170,7 @@ TEST(PartitionerTest, DerivesDeltaFromFraction) {
   const graph::TaskGraph g = workloads::ar_filter_task_graph();
   const arch::Device dev = ar_device(50);
   PartitionerOptions options;
-  options.delta = 0.0;
+  options.budget.delta = 0.0;
   options.delta_fraction = 0.05;
   const PartitionerReport report = TemporalPartitioner(g, dev, options).run();
   const double expected =
@@ -186,7 +186,7 @@ TEST_P(ArOptimalityTest, IterativeMatchesOptimal) {
   const graph::TaskGraph g = workloads::ar_filter_task_graph();
   const arch::Device dev = ar_device(GetParam());
   PartitionerOptions options;
-  options.delta = 5.0;  // tight tolerance: explore nearly everything
+  options.budget.delta = 5.0;  // tight tolerance: explore nearly everything
   options.gamma = 1;
   const PartitionerReport report = TemporalPartitioner(g, dev, options).run();
   ASSERT_TRUE(report.feasible);
@@ -214,7 +214,7 @@ TEST_P(RandomGraphOptimalityTest, IterativeWithinDeltaOfExhaustive) {
   const arch::Device dev = arch::custom("d", 260, 1000, 40);
 
   PartitionerOptions options;
-  options.delta = 25.0;
+  options.budget.delta = 25.0;
   options.gamma = 1;
   const PartitionerReport report = TemporalPartitioner(g, dev, options).run();
 
@@ -230,7 +230,7 @@ TEST_P(RandomGraphOptimalityTest, IterativeWithinDeltaOfExhaustive) {
   EXPECT_TRUE(validate_design(g, dev, *report.best).ok);
   EXPECT_GE(report.achieved_latency, brute->total_latency_ns - 1e-6);
   EXPECT_LE(report.achieved_latency,
-            brute->total_latency_ns + options.delta + 1e-6);
+            brute->total_latency_ns + options.budget.delta + 1e-6);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphOptimalityTest,

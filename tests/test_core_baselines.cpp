@@ -47,7 +47,7 @@ TEST(GreedyBaselineTest, IterativePartitionerBeatsOrMatchesGreedy) {
   const graph::TaskGraph g = workloads::ar_filter_task_graph();
   const arch::Device dev = arch::custom("d", 200, 64, 50);
   PartitionerOptions options;
-  options.delta = 10.0;
+  options.budget.delta = 10.0;
   const PartitionerReport report = TemporalPartitioner(g, dev, options).run();
   ASSERT_TRUE(report.feasible);
   for (const PointPolicy policy :

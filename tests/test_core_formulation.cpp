@@ -30,7 +30,7 @@ graph::TaskGraph diamond() {
 }
 
 PartitionedDesign solve_feasible(const IlpFormulation& form) {
-  const milp::MilpSolution s = milp::solve_first_feasible(form.model());
+  const milp::MilpSolution s = milp::Solver(form.model(), milp::first_feasible_params()).solve();
   EXPECT_TRUE(s.has_solution()) << to_string(s.status);
   return form.decode(s.values);
 }
@@ -76,7 +76,7 @@ TEST(FormulationTest, InfeasibleWhenLatencyWindowTooTight) {
   const arch::Device dev = arch::custom("d", 200, 64, 10);
   // Even the all-fast critical path costs 300 + reconfig; ask for 200.
   IlpFormulation form(g, dev, 2, 200.0, 0.0);
-  const milp::MilpSolution s = milp::solve_first_feasible(form.model());
+  const milp::MilpSolution s = milp::Solver(form.model(), milp::first_feasible_params()).solve();
   EXPECT_EQ(s.status, milp::SolveStatus::kInfeasible);
 }
 
@@ -85,7 +85,7 @@ TEST(FormulationTest, InfeasibleWhenAreaImpossible) {
   // Total min area = 160 > 1 partition x 100.
   const arch::Device dev = arch::custom("d", 100, 64, 10);
   IlpFormulation form(g, dev, 1, 1e6, 0.0);
-  const milp::MilpSolution s = milp::solve_first_feasible(form.model());
+  const milp::MilpSolution s = milp::Solver(form.model(), milp::first_feasible_params()).solve();
   EXPECT_EQ(s.status, milp::SolveStatus::kInfeasible);
   // The total-area cut lets the solver prove this without branching.
   EXPECT_EQ(s.nodes_explored, 0);
@@ -114,7 +114,7 @@ TEST(FormulationTest, MemoryConstraintDetectsInfeasibility) {
   g.add_edge(a, b, 50);
   const arch::Device dev = arch::custom("d", 100, 10, 10);
   IlpFormulation form(g, dev, 2, 1e6, 0.0);
-  const milp::MilpSolution s = milp::solve_first_feasible(form.model());
+  const milp::MilpSolution s = milp::Solver(form.model(), milp::first_feasible_params()).solve();
   EXPECT_EQ(s.status, milp::SolveStatus::kInfeasible);
 }
 
@@ -128,7 +128,7 @@ TEST(FormulationTest, EnvironmentDataCountsAgainstMemory) {
   // placing b in partition 2 keeps its input alive during P1 as well under
   // our conservative load-ahead model, so this must be infeasible.
   IlpFormulation form(g, dev, 2, 1e6, 0.0);
-  const milp::MilpSolution s = milp::solve_first_feasible(form.model());
+  const milp::MilpSolution s = milp::Solver(form.model(), milp::first_feasible_params()).solve();
   EXPECT_EQ(s.status, milp::SolveStatus::kInfeasible);
 }
 
@@ -146,8 +146,8 @@ TEST(FormulationTest, OrderFormsAgree) {
                       min_latency(g, dev, n), aggregated);
     f1.set_latency_objective();
     f2.set_latency_objective();
-    const milp::MilpSolution s1 = milp::solve_to_optimality(f1.model());
-    const milp::MilpSolution s2 = milp::solve_to_optimality(f2.model());
+    const milp::MilpSolution s1 = milp::Solver(f1.model(), milp::optimality_params()).solve();
+    const milp::MilpSolution s2 = milp::Solver(f2.model(), milp::optimality_params()).solve();
     ASSERT_EQ(s1.status, milp::SolveStatus::kOptimal);
     ASSERT_EQ(s2.status, milp::SolveStatus::kOptimal);
     EXPECT_NEAR(s1.objective, s2.objective, 1e-6) << "N=" << n;
@@ -168,8 +168,8 @@ TEST(FormulationTest, LatencyFormsAgree) {
                       min_latency(g, dev, n), flow);
     f1.set_latency_objective();
     f2.set_latency_objective();
-    const milp::MilpSolution s1 = milp::solve_to_optimality(f1.model());
-    const milp::MilpSolution s2 = milp::solve_to_optimality(f2.model());
+    const milp::MilpSolution s1 = milp::Solver(f1.model(), milp::optimality_params()).solve();
+    const milp::MilpSolution s2 = milp::Solver(f2.model(), milp::optimality_params()).solve();
     ASSERT_EQ(s1.status, milp::SolveStatus::kOptimal);
     ASSERT_EQ(s2.status, milp::SolveStatus::kOptimal);
     // The decoded designs must agree on real latency (d_p values may differ
@@ -187,7 +187,7 @@ TEST(FormulationTest, OptimalMatchesExhaustiveEnumeration) {
   IlpFormulation form(g, dev, n, max_latency(g, dev, n),
                       min_latency(g, dev, n));
   form.set_latency_objective();
-  const milp::MilpSolution s = milp::solve_to_optimality(form.model());
+  const milp::MilpSolution s = milp::Solver(form.model(), milp::optimality_params()).solve();
   ASSERT_EQ(s.status, milp::SolveStatus::kOptimal);
   const PartitionedDesign ilp_best = form.decode(s.values);
 
@@ -205,7 +205,7 @@ TEST(FormulationTest, StrengtheningCutsPreserveFeasibilitySet) {
     IlpFormulation form(g, dev, 2, max_latency(g, dev, 2),
                         min_latency(g, dev, 2), options);
     form.set_latency_objective();
-    const milp::MilpSolution s = milp::solve_to_optimality(form.model());
+    const milp::MilpSolution s = milp::Solver(form.model(), milp::optimality_params()).solve();
     ASSERT_EQ(s.status, milp::SolveStatus::kOptimal);
     const PartitionedDesign best = form.decode(s.values);
     // Optimal latency must be identical with and without cuts (538? value
@@ -227,7 +227,7 @@ TEST(FormulationTest, EtaReflectsUsedPartitions) {
   // the reconfiguration cost pushes the optimum to eta = 1.
   IlpFormulation form(g, dev, 3, max_latency(g, dev, 3), 0.0);
   form.set_latency_objective();
-  const milp::MilpSolution s = milp::solve_to_optimality(form.model());
+  const milp::MilpSolution s = milp::Solver(form.model(), milp::optimality_params()).solve();
   ASSERT_EQ(s.status, milp::SolveStatus::kOptimal);
   const PartitionedDesign design = form.decode(s.values);
   EXPECT_EQ(design.num_partitions_used, 1);
@@ -239,7 +239,7 @@ TEST(FormulationTest, DminWindowExcludesFastSolutions) {
   // Force the search into the region [700, inf): the all-fast one-partition
   // solution (300 + 10) is excluded by eq. (10).
   IlpFormulation form(g, dev, 1, 1e6, 700.0);
-  const milp::MilpSolution s = milp::solve_first_feasible(form.model());
+  const milp::MilpSolution s = milp::Solver(form.model(), milp::first_feasible_params()).solve();
   ASSERT_TRUE(s.has_solution());
   // d_1 must carry at least 700 - 10 of latency budget; the decoded design
   // may be faster in reality, but the model's d/eta satisfied the window.

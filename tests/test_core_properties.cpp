@@ -49,7 +49,7 @@ TEST_P(FormulationVariantsTest, AllVariantsAgreeOnOptimum) {
       milp::SolverParams params;
       params.use_lp_bounding = true;
       params.objective_improvement = 1.0;
-      const milp::MilpSolution s = milp::solve(form.model(), params);
+      const milp::MilpSolution s = milp::Solver(form.model(), params).solve();
       ASSERT_EQ(s.status, milp::SolveStatus::kOptimal)
           << "seed " << GetParam();
       const double latency_ns = form.decode(s.values).total_latency_ns;
@@ -79,7 +79,7 @@ TEST_P(FormulationVariantsTest, TransitiveReductionPreservesOptimum) {
     milp::SolverParams params;
     params.use_lp_bounding = true;
     params.objective_improvement = 1.0;
-    const milp::MilpSolution s = milp::solve(form.model(), params);
+    const milp::MilpSolution s = milp::Solver(form.model(), params).solve();
     ASSERT_EQ(s.status, milp::SolveStatus::kOptimal);
     results[reduce ? 1 : 0] = form.decode(s.values).total_latency_ns;
   }
@@ -93,7 +93,7 @@ TEST_P(FormulationVariantsTest, DecodedDesignsPassTheValidator) {
   const int n = min_area_partitions(g, dev) + 1;
   IlpFormulation form(g, dev, n, max_latency(g, dev, n),
                       min_latency(g, dev, n));
-  const milp::MilpSolution s = milp::solve_first_feasible(form.model());
+  const milp::MilpSolution s = milp::Solver(form.model(), milp::first_feasible_params()).solve();
   if (!s.has_solution()) {
     // The validator-side exhaustive check must agree there is nothing.
     if (g.num_tasks() <= 8) {
@@ -117,8 +117,8 @@ TEST_P(FormulationVariantsTest, IterativeNeverLosesToGreedy) {
   const graph::TaskGraph g = seeded_graph(GetParam() * 31 + 11);
   const arch::Device dev = arch::custom("d", 300, 2048, 60);
   PartitionerOptions options;
-  options.delta = 30.0;
-  options.solver.time_limit_sec = 5.0;
+  options.budget.delta = 30.0;
+  options.budget.solver.time_limit_sec = 5.0;
   const PartitionerReport report =
       TemporalPartitioner(g, dev, options).run();
   if (!report.feasible) return;

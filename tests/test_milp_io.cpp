@@ -42,8 +42,8 @@ TEST(LpRoundTripTest, PreservesStructure) {
 TEST(LpRoundTripTest, PreservesOptimum) {
   const Model original = sample_model();
   const Model parsed = read_lp_string(to_lp_string(original));
-  const MilpSolution s1 = solve_to_optimality(original);
-  const MilpSolution s2 = solve_to_optimality(parsed);
+  const MilpSolution s1 = Solver(original, optimality_params()).solve();
+  const MilpSolution s2 = Solver(parsed, optimality_params()).solve();
   ASSERT_EQ(s1.status, SolveStatus::kOptimal);
   ASSERT_EQ(s2.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s1.objective, s2.objective, 1e-6);
@@ -62,7 +62,7 @@ End
   EXPECT_EQ(m.num_vars(), 2);
   EXPECT_EQ(m.num_constraints(), 3);
   EXPECT_FALSE(m.minimize());
-  const MilpSolution s = solve_to_optimality(m);
+  const MilpSolution s = Solver(m, optimality_params()).solve();
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 36.0, 1e-6);
 }
@@ -187,8 +187,8 @@ TEST(PresolveTest, ReducedModelRoundTripsThroughLpFormat) {
   const PresolveResult r = presolve(m);
   ASSERT_TRUE(r.model.has_value());
   const Model parsed = read_lp_string(to_lp_string(*r.model));
-  const MilpSolution s1 = solve_to_optimality(m);
-  const MilpSolution s2 = solve_to_optimality(parsed);
+  const MilpSolution s1 = Solver(m, optimality_params()).solve();
+  const MilpSolution s2 = Solver(parsed, optimality_params()).solve();
   ASSERT_EQ(s1.status, SolveStatus::kOptimal);
   ASSERT_EQ(s2.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s1.objective, s2.objective, 1e-6);

@@ -46,7 +46,7 @@ class RandomMilpTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(RandomMilpTest, MatchesBruteForce) {
   const Model m = random_binary_model(GetParam(), 9, 5);
   const auto expected = testing::brute_force_best_objective(m);
-  const MilpSolution s = solve_to_optimality(m);
+  const MilpSolution s = Solver(m, optimality_params()).solve();
   if (!expected.has_value()) {
     EXPECT_EQ(s.status, SolveStatus::kInfeasible)
         << "solver found a solution for an infeasible model";
@@ -63,8 +63,8 @@ TEST_P(RandomMilpTest, PropagationOnlyAgreesWithLpBounding) {
   no_lp.use_lp_bounding = false;
   SolverParams with_lp;
   with_lp.use_lp_bounding = true;
-  const MilpSolution s1 = solve(m, no_lp);
-  const MilpSolution s2 = solve(m, with_lp);
+  const MilpSolution s1 = Solver(m, no_lp).solve();
+  const MilpSolution s2 = Solver(m, with_lp).solve();
   EXPECT_EQ(s1.status, s2.status);
   if (s1.has_solution() && s2.has_solution()) {
     EXPECT_NEAR(s1.objective, s2.objective, 1e-6);
@@ -73,7 +73,7 @@ TEST_P(RandomMilpTest, PropagationOnlyAgreesWithLpBounding) {
 
 TEST_P(RandomMilpTest, FirstFeasibleIsFeasible) {
   const Model m = random_binary_model(GetParam() * 31 + 7, 10, 6);
-  const MilpSolution s = solve_first_feasible(m);
+  const MilpSolution s = Solver(m, first_feasible_params()).solve();
   if (s.has_solution()) {
     EXPECT_TRUE(check_solution(m, s.values).ok);
   } else {
@@ -104,7 +104,7 @@ TEST_P(RandomMilpTest, MixedIntegerAgainstBruteForceOnIntegers) {
   }
   m.set_objective(obj);
   const auto expected = testing::brute_force_best_objective(m);
-  const MilpSolution s = solve_to_optimality(m);
+  const MilpSolution s = Solver(m, optimality_params()).solve();
   if (!expected.has_value()) {
     EXPECT_EQ(s.status, SolveStatus::kInfeasible);
   } else {

@@ -17,7 +17,7 @@ TEST(MilpSolverTest, KnapsackOptimal) {
                        6.0, "cap");
   m.set_objective(10.0 * LinExpr(a) + 13.0 * LinExpr(b) + 7.0 * LinExpr(c),
                   /*minimize=*/false);
-  const MilpSolution s = solve_to_optimality(m);
+  const MilpSolution s = Solver(m, optimality_params()).solve();
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 20.0, 1e-6);
   EXPECT_NEAR(s.values[a], 0.0, 1e-6);
@@ -30,7 +30,7 @@ TEST(MilpSolverTest, InfeasibleBinaryModel) {
   const VarId x = m.add_binary("x");
   m.add_constraint(LinExpr(x) >= 1.0, "force1");
   m.add_constraint(LinExpr(x) <= 0.0, "force0");
-  const MilpSolution s = solve(m);
+  const MilpSolution s = Solver(m).solve();
   EXPECT_EQ(s.status, SolveStatus::kInfeasible);
 }
 
@@ -41,7 +41,7 @@ TEST(MilpSolverTest, FirstFeasibleStopsEarly) {
   LinExpr sum;
   for (const VarId x : xs) sum += LinExpr(x);
   m.add_constraint(sum == 5.0, "pick5");
-  const MilpSolution s = solve_first_feasible(m);
+  const MilpSolution s = Solver(m, first_feasible_params()).solve();
   ASSERT_EQ(s.status, SolveStatus::kFeasible);
   EXPECT_TRUE(check_solution(m, s.values).ok);
 }
@@ -50,7 +50,7 @@ TEST(MilpSolverTest, PureFeasibilityReportsOptimalWhenExhaustive) {
   Model m;
   const VarId x = m.add_binary("x");
   m.add_constraint(LinExpr(x) == 1.0, "fix");
-  const MilpSolution s = solve(m);  // no objective, no early stop
+  const MilpSolution s = Solver(m).solve();  // no objective, no early stop
   EXPECT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.values[x], 1.0, 1e-9);
 }
@@ -81,7 +81,7 @@ TEST(MilpSolverTest, AssignmentProblem) {
     for (int j = 0; j < 3; ++j) obj += cost[i][j] * LinExpr(y[i][j]);
   }
   m.set_objective(obj);
-  const MilpSolution s = solve_to_optimality(m);
+  const MilpSolution s = Solver(m, optimality_params()).solve();
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 5.0, 1e-6);
 }
@@ -96,7 +96,7 @@ TEST(MilpSolverTest, GeneralIntegerDomainSplit) {
   const VarId y = m.add_integer(0, 100, "y");
   m.add_constraint(3.0 * LinExpr(x) + 2.0 * LinExpr(y) >= 13.0, "need");
   m.set_objective(LinExpr(x) + LinExpr(y));
-  const MilpSolution s = solve_to_optimality(m);
+  const MilpSolution s = Solver(m, optimality_params()).solve();
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 5.0, 1e-6);
 }
@@ -110,7 +110,7 @@ TEST(MilpSolverTest, MixedIntegerContinuous) {
   m.add_constraint(7.0 * LinExpr(x) - LinExpr(d) <= 0.0, "c1");
   m.add_constraint(-3.0 * LinExpr(x) - LinExpr(d) <= -3.0, "c2");
   m.set_objective(LinExpr(d));
-  const MilpSolution s = solve_to_optimality(m);
+  const MilpSolution s = Solver(m, optimality_params()).solve();
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 3.0, 1e-6);
   EXPECT_NEAR(s.values[x], 0.0, 1e-6);
@@ -122,7 +122,7 @@ TEST(MilpSolverTest, ContinuousOnlyModelSolvedByCompletion) {
   const VarId y = m.add_continuous(0, 10, "y");
   m.add_constraint(LinExpr(x) + LinExpr(y) >= 6.0, "c");
   m.set_objective(2.0 * LinExpr(x) + LinExpr(y));
-  const MilpSolution s = solve(m);
+  const MilpSolution s = Solver(m).solve();
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 6.0, 1e-6);  // all weight on y
 }
@@ -132,7 +132,7 @@ TEST(MilpSolverTest, UnboundedContinuousObjective) {
   const VarId x = m.add_continuous(-kInfinity, kInfinity, "x");
   m.add_constraint(LinExpr(x) <= 5.0, "c");
   m.set_objective(LinExpr(x));
-  const MilpSolution s = solve(m);
+  const MilpSolution s = Solver(m).solve();
   EXPECT_EQ(s.status, SolveStatus::kUnbounded);
 }
 
@@ -150,7 +150,7 @@ TEST(MilpSolverTest, NodeLimitReported) {
   m.add_constraint(2.0 * sum == 23.0, "odd");
   SolverParams params;
   params.node_limit = 5;
-  const MilpSolution s = solve(m, params);
+  const MilpSolution s = Solver(m, params).solve();
   EXPECT_FALSE(s.has_solution());
 }
 
@@ -163,7 +163,7 @@ TEST(MilpSolverTest, BranchPriorityRespected) {
   m.set_branch_priority(b, 10);
   m.add_constraint(LinExpr(a) + LinExpr(b) == 1.0, "xor");
   m.set_objective(LinExpr(a) * 2.0 + LinExpr(b));
-  const MilpSolution s = solve_to_optimality(m);
+  const MilpSolution s = Solver(m, optimality_params()).solve();
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 1.0, 1e-6);
   EXPECT_NEAR(s.values[b], 1.0, 1e-6);
@@ -175,7 +175,7 @@ TEST(MilpSolverTest, BranchHintGuidesFirstFeasible) {
   const VarId b = m.add_binary("b");
   m.add_constraint(LinExpr(a) + LinExpr(b) == 1.0, "xor");
   m.set_branch_hint(a, 0.0);
-  const MilpSolution s = solve_first_feasible(m);
+  const MilpSolution s = Solver(m, first_feasible_params()).solve();
   ASSERT_TRUE(s.has_solution());
   // Hint a=0 makes the first feasible assignment b=1.
   EXPECT_NEAR(s.values[a], 0.0, 1e-6);
@@ -188,7 +188,7 @@ TEST(MilpSolverTest, EqualityWithContinuousCompletion) {
   const VarId d = m.add_continuous(0, 50, "d");
   m.add_constraint(LinExpr(d) - 10.0 * LinExpr(x) == 2.0, "link");
   m.set_objective(LinExpr(d));
-  const MilpSolution s = solve_to_optimality(m);
+  const MilpSolution s = Solver(m, optimality_params()).solve();
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 2.0, 1e-6);
   EXPECT_NEAR(s.values[x], 0.0, 1e-6);
@@ -199,7 +199,7 @@ TEST(MilpSolverTest, MaximizationSignHandling) {
   const VarId x = m.add_integer(0, 9, "x");
   m.add_constraint(LinExpr(x) <= 6.0, "cap");
   m.set_objective(LinExpr(x), /*minimize=*/false);
-  const MilpSolution s = solve_to_optimality(m);
+  const MilpSolution s = Solver(m, optimality_params()).solve();
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 6.0, 1e-6);
 }
@@ -225,7 +225,7 @@ TEST(MilpSolverTest, SolverStatsArePopulated) {
                        6.0, "cap");
   m.set_objective(10.0 * LinExpr(a) + 13.0 * LinExpr(b) + 7.0 * LinExpr(c),
                   /*minimize=*/false);
-  const MilpSolution s = solve_to_optimality(m);
+  const MilpSolution s = Solver(m, optimality_params()).solve();
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_GE(s.stats.nodes_explored, 1);
   EXPECT_GE(s.stats.simplex_calls, 1);
@@ -257,7 +257,7 @@ TEST(MilpSolverTest, InfeasibleModelCountsPrunedNodes) {
   const VarId x = m.add_binary("x");
   m.add_constraint(LinExpr(x) >= 1.0, "force1");
   m.add_constraint(LinExpr(x) <= 0.0, "force0");
-  const MilpSolution s = solve(m);
+  const MilpSolution s = Solver(m).solve();
   ASSERT_EQ(s.status, SolveStatus::kInfeasible);
   EXPECT_EQ(s.stats.incumbent_updates, 0);
 }
@@ -279,10 +279,10 @@ TEST(MilpSolverTest, LpBoundingPrunesAndAgrees) {
 
   SolverParams no_lp;
   no_lp.use_lp_bounding = false;
-  const MilpSolution s1 = solve(m, no_lp);
+  const MilpSolution s1 = Solver(m, no_lp).solve();
   SolverParams with_lp;
   with_lp.use_lp_bounding = true;
-  const MilpSolution s2 = solve(m, with_lp);
+  const MilpSolution s2 = Solver(m, with_lp).solve();
   ASSERT_EQ(s1.status, SolveStatus::kOptimal);
   ASSERT_EQ(s2.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s1.objective, s2.objective, 1e-6);

@@ -80,7 +80,7 @@ TEST(SimulatorTest, MakespanMatchesAnalyticModelOnContiguousDesigns) {
   const graph::TaskGraph g = workloads::ar_filter_task_graph();
   const arch::Device dev = arch::custom("d", 200, 64, 50);
   core::PartitionerOptions options;
-  options.delta = 20.0;
+  options.budget.delta = 20.0;
   const core::PartitionerReport report =
       core::TemporalPartitioner(g, dev, options).run();
   ASSERT_TRUE(report.feasible);
@@ -111,7 +111,7 @@ TEST(SimulatorTest, PeakMemoryWithinDeviceBudget) {
   const graph::TaskGraph g = workloads::ar_filter_task_graph();
   const arch::Device dev = arch::custom("d", 200, 64, 50);
   core::PartitionerOptions options;
-  options.delta = 20.0;
+  options.budget.delta = 20.0;
   const core::PartitionerReport report =
       core::TemporalPartitioner(g, dev, options).run();
   ASSERT_TRUE(report.feasible);
@@ -193,7 +193,7 @@ TEST(PrefetchTest, NeverSlowerThanPlainExecution) {
   const graph::TaskGraph g = workloads::ar_filter_task_graph();
   const arch::Device dev = arch::custom("d", 200, 64, 500);
   core::PartitionerOptions options;
-  options.delta = 50.0;
+  options.budget.delta = 50.0;
   const core::PartitionerReport report =
       core::TemporalPartitioner(g, dev, options).run();
   ASSERT_TRUE(report.feasible);
@@ -207,7 +207,7 @@ TEST(PrefetchTest, ClosedFormMatchesSimulation) {
   const graph::TaskGraph g = workloads::ar_filter_task_graph();
   const arch::Device dev = arch::custom("d", 200, 64, 120);
   core::PartitionerOptions options;
-  options.delta = 50.0;
+  options.budget.delta = 50.0;
   const core::PartitionerReport report =
       core::TemporalPartitioner(g, dev, options).run();
   ASSERT_TRUE(report.feasible);
@@ -235,9 +235,9 @@ TEST_P(SimulatorPropertyTest, SimulationNeverExceedsAnalyticModel) {
   core::PartitionerOptions options;
   // Coarse search: the property under test concerns whatever design comes
   // back, not its quality, so keep the probe budgets small.
-  options.delta = 400.0;
+  options.budget.delta = 400.0;
   options.gamma = 0;
-  options.solver.time_limit_sec = 1.0;
+  options.budget.solver.time_limit_sec = 1.0;
   const core::PartitionerReport report =
       core::TemporalPartitioner(g, dev, options).run();
   if (!report.feasible) GTEST_SKIP() << "instance infeasible";

@@ -184,7 +184,7 @@ TEST(FlowTest, MapsPartitionedArFilterOntoBoard) {
   const graph::TaskGraph g = workloads::ar_filter_task_graph();
   const arch::Device dev = arch::custom("d", 200, 64, 50);
   core::PartitionerOptions options;
-  options.delta = 20.0;
+  options.budget.delta = 20.0;
   const core::PartitionerReport report =
       core::TemporalPartitioner(g, dev, options).run();
   ASSERT_TRUE(report.feasible);
