@@ -31,6 +31,7 @@ struct Arguments {
   int alpha = 0;
   int gamma = 1;
   double time_limit = 10.0;
+  double deadline_sec = 0.0;  ///< whole-run wall deadline; 0 = none
   int threads = 0;
   bool optimal = false;
   bool simulate = false;
@@ -78,6 +79,9 @@ Arguments parse_args(const std::vector<std::string>& args) {
       parsed.gamma = std::stoi(value());
     } else if (arg == "--time-limit") {
       parsed.time_limit = std::stod(value());
+    } else if (arg == "--deadline-sec") {
+      parsed.deadline_sec = std::stod(value());
+      SPARCS_REQUIRE(parsed.deadline_sec > 0.0, "--deadline-sec must be > 0");
     } else if (arg == "--threads") {
       parsed.threads = std::stoi(value());
       SPARCS_REQUIRE(parsed.threads >= 0,
@@ -185,6 +189,9 @@ options:
   --delta D                  latency tolerance in ns (default: 2% of MaxLatency)
   --alpha A / --gamma G      partition relaxations (defaults 0 / 1)
   --time-limit S             per-ILP-solve wall budget (default 10 s)
+  --deadline-sec S           wall-clock deadline for the whole run; on expiry
+                             the best incumbent so far is returned with a
+                             degraded report (exit code 3)
   --threads T                solver worker threads (0 = all hardware threads,
                              1 = single-threaded legacy search; default 0)
   --optimal                  also run the optimal-ILP reference
@@ -197,6 +204,13 @@ options:
   --quiet                    shorthand for --log-level error; also suppresses
                              the iteration trace table (the --*-json files are
                              still written)
+
+exit codes:
+  0  success (converged result)
+  2  no feasible partitioning in the explored range
+  3  degraded: the time budget or --deadline-sec expired before the sweep
+     finished (any printed result is the best incumbent so far)
+  4  bad input: unusable arguments or a malformed graph file
 )";
 }
 
@@ -204,7 +218,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   if (args.empty()) {
     err << usage();
-    return 2;
+    return 4;
   }
   try {
     const Arguments parsed = parse_args(args);
@@ -246,6 +260,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     options.gamma = parsed.gamma;
     options.budget.solver.time_limit_sec = parsed.time_limit;
     options.budget.solver.num_threads = parsed.threads;
+    if (parsed.deadline_sec > 0.0) {
+      options.budget.deadline =
+          core::Deadline::after_seconds(parsed.deadline_sec);
+    }
     const core::PartitionerReport report =
         core::TemporalPartitioner(graph, dev, options).run();
 
@@ -262,11 +280,34 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       json << report.to_json() << "\n";
       out << "wrote " << parsed.report_json_file << "\n";
     }
+    // Degradation summary: which partition bounds the sweep probed, cut
+    // short or never reached before the budget/deadline expired.
+    if (report.degraded) {
+      int probed = 0, cut_short = 0, skipped = 0;
+      for (const core::StageAccount& stage : report.stages) {
+        switch (stage.status) {
+          case core::StageStatus::kProbed:
+            ++probed;
+            break;
+          case core::StageStatus::kCutShort:
+            ++cut_short;
+            break;
+          case core::StageStatus::kSkipped:
+            ++skipped;
+            break;
+        }
+      }
+      out << "degraded: budget or deadline expired mid-sweep (" << probed
+          << " bounds probed, " << cut_short << " cut short, " << skipped
+          << " skipped" << (report.watchdog_fired ? "; watchdog fired" : "")
+          << ")\n";
+    }
     if (!report.feasible) {
       out << "no feasible partitioning in the explored range\n";
-      return 1;
+      return report.degraded ? 3 : 2;
     }
-    out << "best: " << report.achieved_latency << " ns at N="
+    out << (report.degraded ? "best so far: " : "best: ")
+        << report.achieved_latency << " ns at N="
         << report.best_num_partitions << " (delta=" << report.delta_used
         << ", " << report.ilp_solves << " ILP solves, " << report.seconds
         << " s)\n"
@@ -296,10 +337,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       io::write_trace_csv(csv, report.trace);
       out << "wrote " << parsed.csv_file << "\n";
     }
-    return 0;
+    return report.degraded ? 3 : 0;
   } catch (const Error& e) {
     err << "error: " << e.what() << "\n" << usage();
-    return 2;
+    return 4;
   }
 }
 

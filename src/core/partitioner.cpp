@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/deadline.hpp"
 #include "core/formulation.hpp"
 #include "milp/solver.hpp"
 #include "support/error.hpp"
@@ -38,6 +39,19 @@ PartitionerReport TemporalPartitioner::run() const {
   params.budget.delta = delta;
   params.max_partitions = options_.max_partitions;
 
+  // Deadline enforcement is layered: every solve clamps its time limit to
+  // the remaining budget (cooperative), and the watchdog force-cancels the
+  // run through the token if a solve still overruns by the grace margin.
+  if (params.budget.deadline.valid() && !params.budget.solver.cancel.valid()) {
+    params.budget.solver.cancel = milp::CancelToken::create();
+  }
+  const double grace =
+      options_.watchdog_grace_sec > 0.0
+          ? options_.watchdog_grace_sec
+          : DeadlineWatchdog::default_grace_sec(params.budget.deadline);
+  DeadlineWatchdog watchdog(params.budget.deadline, grace,
+                            params.budget.solver.cancel);
+
   RefinePartitionsResult refined =
       refine_partitions_bound(graph_, device_, params);
   report.feasible = refined.best.has_value();
@@ -48,6 +62,9 @@ PartitionerReport TemporalPartitioner::run() const {
   report.ilp_solves = refined.ilp_solves;
   report.seconds = refined.seconds;
   report.stopped_by_lower_bound = refined.stopped_by_lower_bound;
+  report.degraded = refined.degraded;
+  report.watchdog_fired = watchdog.fired();
+  report.stages = std::move(refined.stages);
   report.solver_stats = refined.solver_stats;
 
   if (report.best) {

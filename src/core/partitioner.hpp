@@ -26,6 +26,10 @@ struct PartitionerOptions {
   SearchBudget budget;
   double delta_fraction = 0.02;
   int max_partitions = 64;
+  /// Watchdog grace past budget.deadline before the run is force-cancelled
+  /// (<= 0 derives max(0.05 s, 10% of the deadline horizon)). Only used when
+  /// the deadline is valid.
+  double watchdog_grace_sec = 0.0;
 };
 
 /// Everything the partitioner learned, including the paper-table trace.
@@ -38,6 +42,14 @@ struct PartitionerReport {
   int ilp_solves = 0;
   double seconds = 0.0;
   bool stopped_by_lower_bound = false;
+  /// True when the run stopped on the time budget / deadline / cancellation
+  /// before natural termination: `best` is the anytime incumbent.
+  bool degraded = false;
+  /// True when the deadline watchdog had to force-cancel the run (a solve
+  /// overran the deadline by more than the grace margin).
+  bool watchdog_fired = false;
+  /// Per-partition-bound account (probed / cut short / skipped).
+  std::vector<StageAccount> stages;
   /// Aggregate solver statistics over every ILP solve of the run.
   milp::SolverStats solver_stats;
   /// Derived inputs, for reporting.

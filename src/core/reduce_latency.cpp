@@ -32,8 +32,10 @@ Probe solve_window(const graph::TaskGraph& graph, const arch::Device& device,
   IlpFormulation formulation(graph, device, num_partitions, d_max, d_min,
                              params.budget.formulation);
   if (hint != nullptr) formulation.apply_hints(*hint);
+  // clamped_solver() caps the probe's time limit at the deadline's remaining
+  // wall clock, so budget expiry surfaces from inside this solve.
   milp::Solver solver(formulation.model(),
-                      milp::first_feasible_params(params.budget.solver));
+                      milp::first_feasible_params(params.budget.clamped_solver()));
   const milp::MilpSolution solution = solver.solve();
   probe.seconds = stopwatch.seconds();
   probe.nodes = solution.nodes_explored;
@@ -50,9 +52,10 @@ Probe solve_window(const graph::TaskGraph& graph, const arch::Device& device,
       break;
     case milp::SolveStatus::kUnbounded:
     case milp::SolveStatus::kLimitReached:
-      // A limit without a solution is treated like an infeasible probe by
-      // the search (as a time-limited CPLEX run would be), but the trace
-      // records it distinctly.
+    case milp::SolveStatus::kNumericalFailure:
+      // A limit (or an unrecoverable numerical failure) without a solution
+      // is treated like an infeasible probe by the search (as a time-limited
+      // CPLEX run would be), but the trace records it distinctly.
       probe.outcome = IterationOutcome::kLimit;
       break;
   }
@@ -128,21 +131,30 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
     return fitting != nullptr ? fitting : fastest;
   };
 
+  if (params.budget.interrupted()) {
+    // Deadline already gone: report a cut-short, empty refinement rather
+    // than launching a solve that cannot finish.
+    result.cut_short = true;
+    return result;
+  }
+
   Probe probe = solve_window(graph, device, num_partitions, d_max, d_min,
                              params, pick_hint(d_max));
   record(d_max, d_min, probe);
   if (probe.outcome != IterationOutcome::kFeasible) {
+    result.cut_short = params.budget.interrupted();
     return result;  // Da = 0: this partition bound yields no solution
   }
   result.best = std::move(probe.design);
   result.achieved_latency = result.best->total_latency_ns;
   portfolio.push_back(*result.best);
 
-  // Binary subdivision of the latency window. A cancellation unwinds here
-  // directly instead of burning a (fast but pointless) probe per halving.
+  // Binary subdivision of the latency window. A cancellation or an expired
+  // deadline unwinds here directly instead of burning a (fast but pointless)
+  // probe per halving; `best` stays valid as the anytime incumbent.
   while (d_max - d_min >= params.budget.delta &&
          result.achieved_latency - d_min >= params.budget.delta &&
-         !params.budget.cancelled()) {
+         !(result.cut_short = params.budget.interrupted())) {
     double target = (d_max + d_min) / 2.0;
     // The probe must ask for something strictly better than the incumbent.
     while (target >= result.achieved_latency) {

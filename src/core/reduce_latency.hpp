@@ -34,6 +34,9 @@ struct ReduceLatencyResult {
   double achieved_latency = 0.0;  ///< Da; 0 when infeasible
   int ilp_solves = 0;
   milp::SolverStats solver_stats;  ///< aggregate over all probes
+  /// True when the refinement stopped early (deadline/cancellation) instead
+  /// of converging the window to delta: `best` is an anytime result.
+  bool cut_short = false;
 };
 
 /// Runs the latency refinement for `num_partitions`, appending one

@@ -74,6 +74,18 @@ bool speculation_enabled(const SearchBudget& budget) {
 
 }  // namespace
 
+std::string to_string(StageStatus status) {
+  switch (status) {
+    case StageStatus::kProbed:
+      return "probed";
+    case StageStatus::kCutShort:
+      return "cut-short";
+    case StageStatus::kSkipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
 RefinePartitionsResult refine_partitions_bound(
     const graph::TaskGraph& graph, const arch::Device& device,
     const RefinePartitionsParams& params) {
@@ -96,7 +108,32 @@ RefinePartitionsResult refine_partitions_bound(
 
   auto time_expired = [&] {
     return stopwatch.seconds() >= params.budget.time_budget_sec ||
-           params.budget.cancelled();
+           params.budget.interrupted();
+  };
+
+  /// Appends the stage account for partition bound `n`: its solve count and
+  /// the solver wall time of the trace rows it appended (uniform across
+  /// inline and adopted speculative runs).
+  auto record_stage = [&](int stage_n, const ReduceLatencyResult& reduced,
+                          std::size_t first_row) {
+    StageAccount account;
+    account.num_partitions = stage_n;
+    account.status = reduced.cut_short ? StageStatus::kCutShort
+                                       : StageStatus::kProbed;
+    account.solves = reduced.ilp_solves;
+    for (std::size_t i = first_row; i < result.trace.size(); ++i) {
+      account.seconds += result.trace[i].seconds;
+    }
+    result.stages.push_back(account);
+  };
+
+  /// Marks every bound in [first_n, n_stop] as skipped: the budget expired
+  /// before the sweep reached them.
+  auto mark_skipped = [&](int first_n, int n_stop_bound) {
+    for (int skipped = first_n; skipped <= n_stop_bound; ++skipped) {
+      result.stages.push_back(
+          StageAccount{skipped, StageStatus::kSkipped, 0, 0.0});
+    }
   };
 
   /// Folds a finished speculative run into the result as if the sweep had
@@ -123,6 +160,11 @@ RefinePartitionsResult refine_partitions_bound(
                                   ? a.num_partitions < b.num_partitions
                                   : a.iteration < b.iteration;
                      });
+    // A stage interrupted mid-refinement degrades the result even when the
+    // sweep then terminated at its natural end of range.
+    for (const StageAccount& account : result.stages) {
+      if (account.status == StageStatus::kCutShort) result.degraded = true;
+    }
     result.seconds = stopwatch.seconds();
   };
 
@@ -143,6 +185,7 @@ RefinePartitionsResult refine_partitions_bound(
       return result;  // provably no solution in the explorable range
     }
     ReduceLatencyResult reduced;
+    const std::size_t first_row = result.trace.size();
     if (spec != nullptr && spec->n == n) {
       reduced = adopt(*spec);
       spec.reset();
@@ -160,6 +203,7 @@ RefinePartitionsResult refine_partitions_bound(
       result.ilp_solves += reduced.ilp_solves;
       result.solver_stats.merge(reduced.solver_stats);
     }
+    record_stage(n, reduced, first_row);
     if (reduced.best) {
       result.best = std::move(reduced.best);
       result.achieved_latency = reduced.achieved_latency;
@@ -171,6 +215,8 @@ RefinePartitionsResult refine_partitions_bound(
     }
     if (time_expired()) {
       spec.reset();
+      result.degraded = true;
+      mark_skipped(n + 1, n_stop);
       finish();
       return result;  // no solution within the budget
     }
@@ -195,6 +241,7 @@ RefinePartitionsResult refine_partitions_bound(
     // when N grows and focuses the solver on local improvements.
     inner.warm_start = result.best;
     ReduceLatencyResult reduced;
+    const std::size_t first_row = result.trace.size();
     if (spec != nullptr && spec->n == n &&
         spec->d_max == result.achieved_latency) {
       // Prediction held (the previous bound left Da — and therefore the
@@ -217,6 +264,7 @@ RefinePartitionsResult refine_partitions_bound(
       result.ilp_solves += reduced.ilp_solves;
       result.solver_stats.merge(reduced.solver_stats);
     }
+    record_stage(n, reduced, first_row);
     if (reduced.best &&
         reduced.achieved_latency < result.achieved_latency) {
       result.best = std::move(reduced.best);
@@ -225,6 +273,12 @@ RefinePartitionsResult refine_partitions_bound(
     }
   }
   spec.reset();
+  if (!result.stopped_by_lower_bound && n < n_stop) {
+    // The phase-2 loop gave up before its natural end of range: the budget
+    // or deadline expired. Account the bounds that never ran.
+    result.degraded = true;
+    mark_skipped(n + 1, n_stop);
+  }
 
   finish();
   sweep_span.arg("Da_ns", result.achieved_latency);
@@ -233,6 +287,7 @@ RefinePartitionsResult refine_partitions_bound(
   if (metrics::enabled()) {
     metrics::Registry& reg = metrics::registry();
     reg.counter("core.sweeps").add(1);
+    if (result.degraded) reg.counter("core.sweeps_degraded").add(1);
     reg.counter("core.ilp_solves").add(result.ilp_solves);
     reg.timer("core.sweep").record(result.seconds);
     if (result.best) {

@@ -16,7 +16,10 @@
 // DESIGN.md ("Deterministic speculation").
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "arch/device.hpp"
 #include "core/reduce_latency.hpp"
@@ -25,6 +28,25 @@
 #include "graph/task_graph.hpp"
 
 namespace sparcs::core {
+
+/// How the sweep treated one partition bound N.
+enum class StageStatus : std::uint8_t {
+  kProbed,    ///< Reduce_Latency ran to natural termination
+  kCutShort,  ///< Reduce_Latency started but was interrupted mid-refinement
+  kSkipped,   ///< never started: the budget/deadline expired first
+};
+
+[[nodiscard]] std::string to_string(StageStatus status);
+
+/// Per-partition-bound account of the sweep, the basis of the anytime
+/// degradation report: on budget expiry the caller can see exactly which N
+/// values were probed, which were cut short, and which never ran.
+struct StageAccount {
+  int num_partitions = 0;
+  StageStatus status = StageStatus::kProbed;
+  int solves = 0;        ///< ILP solves spent on this bound
+  double seconds = 0.0;  ///< solver wall time spent on this bound
+};
 
 struct RefinePartitionsParams {
   int alpha = 0;  ///< starting partition relaxation (added to N^l_min)
@@ -46,6 +68,13 @@ struct RefinePartitionsResult {
   /// True when the sweep ended because MinLatency(N) >= Da.
   bool stopped_by_lower_bound = false;
   milp::SolverStats solver_stats;  ///< aggregate over the whole sweep
+  /// True when the sweep stopped on a time budget / deadline / cancellation
+  /// before natural termination: `best` (when present) is an anytime
+  /// incumbent, not the converged answer.
+  bool degraded = false;
+  /// One entry per partition bound the nominal sweep range covers, in N
+  /// order: probed, cut short, or skipped (see StageStatus).
+  std::vector<StageAccount> stages;
 
   /// Renders the result as a JSON object (shared ReportWriter schema).
   [[nodiscard]] std::string to_json() const;

@@ -34,7 +34,25 @@ void write_solver_stats(report::ReportWriter& w,
   w.field("conflicts", stats.conflicts);
   w.field("simplex_calls", stats.simplex_calls);
   w.field("simplex_iterations", stats.simplex_iterations);
+  w.field("numerical_failures", stats.numerical_failures);
+  w.field("lp_recoveries", stats.lp_recoveries);
+  w.field("checker_rejections", stats.checker_rejections);
+  w.field("allocation_failures", stats.allocation_failures);
   w.end_object();
+}
+
+void write_stages(report::ReportWriter& w,
+                  const std::vector<StageAccount>& stages) {
+  w.begin_array("stages");
+  for (const StageAccount& stage : stages) {
+    w.begin_object();
+    w.field("N", stage.num_partitions);
+    w.field("status", to_string(stage.status));
+    w.field("solves", stage.solves);
+    w.field("seconds", stage.seconds);
+    w.end_object();
+  }
+  w.end_array();
 }
 
 void write_trace(report::ReportWriter& w, const Trace& trace) {
@@ -65,6 +83,8 @@ std::string RefinePartitionsResult::to_json() const {
   w.field("ilp_solves", ilp_solves);
   w.field("seconds", seconds);
   w.field("stopped_by_lower_bound", stopped_by_lower_bound);
+  w.field("degraded", degraded);
+  write_stages(w, stages);
   write_solver_stats(w, solver_stats);
   write_trace(w, trace);
   w.end_object();
@@ -80,9 +100,12 @@ std::string PartitionerReport::to_json() const {
   w.field("ilp_solves", ilp_solves);
   w.field("seconds", seconds);
   w.field("stopped_by_lower_bound", stopped_by_lower_bound);
+  w.field("degraded", degraded);
+  w.field("watchdog_fired", watchdog_fired);
   w.field("n_min_lower", n_min_lower);
   w.field("n_min_upper", n_min_upper);
   w.field("delta_used_ns", delta_used);
+  write_stages(w, stages);
   write_solver_stats(w, solver_stats);
   write_trace(w, trace);
   w.end_object();

@@ -1,5 +1,6 @@
 #include "io/tg_format.hpp"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -28,6 +29,19 @@ double parse_double(const std::string& token, int line_no) {
   SPARCS_REQUIRE(end == token.c_str() + token.size(),
                  str_format("line %d: expected a number, got '%s'", line_no,
                             token.c_str()));
+  // strtod accepts "nan"/"inf" spellings and overflows to infinity; none of
+  // the format's quantities may be non-finite.
+  SPARCS_REQUIRE(std::isfinite(value),
+                 str_format("line %d: number '%s' is not finite", line_no,
+                            token.c_str()));
+  return value;
+}
+
+double parse_nonneg(const std::string& token, int line_no, const char* what) {
+  const double value = parse_double(token, line_no);
+  SPARCS_REQUIRE(value >= 0.0,
+                 str_format("line %d: %s must be non-negative, got '%s'",
+                            line_no, what, token.c_str()));
   return value;
 }
 
@@ -75,9 +89,10 @@ TaskGraphFile read_task_graph_string(const std::string& text) {
                                 line_no));
       SPARCS_REQUIRE(!result.device.has_value(),
                      str_format("line %d: duplicate device", line_no));
-      result.device = arch::custom(tokens[1], parse_double(tokens[2], line_no),
-                                   parse_double(tokens[3], line_no),
-                                   parse_double(tokens[4], line_no));
+      result.device = arch::custom(
+          tokens[1], parse_nonneg(tokens[2], line_no, "device Rmax"),
+          parse_nonneg(tokens[3], line_no, "device Mmax"),
+          parse_nonneg(tokens[4], line_no, "device Ct"));
     } else if (directive == "task") {
       SPARCS_REQUIRE(tokens.size() >= 2 && tokens.size() <= 4,
                      str_format("line %d: task <name> [env_in [env_out]]",
@@ -87,8 +102,12 @@ TaskGraphFile read_task_graph_string(const std::string& text) {
                                 tokens[1].c_str()));
       PendingTask task;
       task.name = tokens[1];
-      if (tokens.size() >= 3) task.env_in = parse_double(tokens[2], line_no);
-      if (tokens.size() >= 4) task.env_out = parse_double(tokens[3], line_no);
+      if (tokens.size() >= 3) {
+        task.env_in = parse_nonneg(tokens[2], line_no, "task env_in");
+      }
+      if (tokens.size() >= 4) {
+        task.env_out = parse_nonneg(tokens[3], line_no, "task env_out");
+      }
       tasks.push_back(std::move(task));
     } else if (directive == "point") {
       SPARCS_REQUIRE(
@@ -100,13 +119,14 @@ TaskGraphFile read_task_graph_string(const std::string& text) {
                      str_format("line %d: unknown task '%s'", line_no,
                                 tokens[1].c_str()));
       task->points.push_back(graph::DesignPoint{
-          tokens[2], parse_double(tokens[3], line_no),
-          parse_double(tokens[4], line_no)});
+          tokens[2], parse_nonneg(tokens[3], line_no, "point area"),
+          parse_nonneg(tokens[4], line_no, "point latency")});
     } else if (directive == "edge") {
       SPARCS_REQUIRE(tokens.size() == 4,
                      str_format("line %d: edge <from> <to> <units>", line_no));
-      edges.push_back(PendingEdge{tokens[1], tokens[2],
-                                  parse_double(tokens[3], line_no), line_no});
+      edges.push_back(
+          PendingEdge{tokens[1], tokens[2],
+                      parse_nonneg(tokens[3], line_no, "edge units"), line_no});
     } else {
       SPARCS_REQUIRE(false, str_format("line %d: unknown directive '%s'",
                                        line_no, directive.c_str()));

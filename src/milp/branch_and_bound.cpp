@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <exception>
 #include <limits>
 #include <map>
 #include <mutex>
+#include <new>
 #include <thread>
 #include <utility>
 
@@ -16,6 +18,7 @@
 #include "milp/propagation.hpp"
 #include "milp/simplex.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/logging.hpp"
 #include "support/stopwatch.hpp"
 
@@ -117,16 +120,16 @@ class ParallelContext {
 
   [[nodiscard]] bool global_limits_hit() const {
     return stop_requested_.load(std::memory_order_relaxed) ||
-           total_nodes_.load(std::memory_order_relaxed) >=
-               params_.node_limit ||
-           params_.cancel.cancelled() ||
-           callbacks_.session_cancel.cancelled() ||
-           stopwatch.seconds() >= params_.time_limit_sec;
+           budget_limits_hit();
   }
 
   /// True when the run ended because of a budget/cancellation, not because
-  /// the tree was exhausted (mirrors the serial status mapping).
+  /// the tree was exhausted (mirrors the serial status mapping). The
+  /// timeout failpoint fires here — the shared check every worker and the
+  /// final status mapping consult — so an injected timeout is classified
+  /// exactly like a real one.
   [[nodiscard]] bool budget_limits_hit() const {
+    if (SPARCS_FAILPOINT("milp.solve.timeout")) return true;
     return total_nodes_.load(std::memory_order_relaxed) >=
                params_.node_limit ||
            params_.cancel.cancelled() ||
@@ -146,6 +149,17 @@ class ParallelContext {
 
   [[nodiscard]] bool unbounded() const {
     return unbounded_.load(std::memory_order_relaxed);
+  }
+
+  /// Marks the search as incomplete: some subtree was abandoned for a
+  /// numerical/allocation reason, so an exhausted tree no longer proves
+  /// infeasibility or optimality.
+  void flag_incomplete() {
+    incomplete_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool incomplete() const {
+    return incomplete_.load(std::memory_order_relaxed);
   }
 
   // ---- First-feasible candidates ----------------------------------------
@@ -256,6 +270,7 @@ class ParallelContext {
   std::atomic<std::int64_t> total_nodes_{0};
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> unbounded_{false};
+  std::atomic<bool> incomplete_{false};
 
   // Candidate (first-feasible mode) / incumbent (optimality mode); both use
   // candidate_rank_/candidate_values_ for storage.
@@ -317,6 +332,13 @@ class BnbSearch {
   bool limits_hit() const;
   bool cancel_requested() const;
   void absorb_lp(const LpResult& lp_result);
+  /// LP parameters for in-node solves: wires the global limits into the
+  /// simplex abort hook, so a deadline/cancel unwinds from inside a long LP
+  /// run instead of waiting for the next node boundary.
+  LpParams node_lp_params() const;
+  /// Marks the search incomplete (a subtree was dropped for a numerical or
+  /// allocation reason): exhaustion no longer proves infeasibility.
+  void mark_incomplete();
   void export_stats(MilpSolution& result);
   void search_loop(MilpSolution& result);
   void donate_siblings(Frame& frame);
@@ -350,6 +372,15 @@ class BnbSearch {
   bool have_incumbent_ = false;
   std::int64_t nodes_ = 0;
   bool stop_ = false;
+  /// True once any subtree was abandoned (allocation failure, checker
+  /// rejection, LP numerical failure at a leaf); see mark_incomplete().
+  bool incomplete_ = false;
+  /// True when the search stopped because allocation failures exhausted the
+  /// retry budget (distinguishes this stop_ from a record_incumbent stop).
+  bool alloc_stop_ = false;
+
+  /// Allocation failures tolerated (with node rollback) before giving up.
+  static constexpr std::int64_t kMaxAllocationFailures = 16;
 };
 
 VarId BnbSearch::pick_branch_var() const {
@@ -456,7 +487,7 @@ bool BnbSearch::complete_continuous(std::vector<double>& candidate,
     if (!redundant) lp.add_row(std::move(terms), cc.sense, rhs);
   }
 
-  const LpResult lp_result = solve_lp(lp);
+  const LpResult lp_result = solve_lp(lp, node_lp_params());
   absorb_lp(lp_result);
   switch (lp_result.status) {
     case LpStatus::kOptimal:
@@ -467,7 +498,11 @@ bool BnbSearch::complete_continuous(std::vector<double>& candidate,
       *unbounded = true;
       return false;
     case LpStatus::kIterationLimit:
-      return false;  // treat conservatively as no completion found
+    case LpStatus::kNumericalFailure:
+      // No completion found, but none ruled out either: the leaf's subregion
+      // was not fully explored, so exhaustion no longer proves infeasibility.
+      mark_incomplete();
+      return false;
   }
   for (VarId v = 0; v < n; ++v) {
     const int j = cont_index[static_cast<std::size_t>(v)];
@@ -497,8 +532,10 @@ bool BnbSearch::lp_prune() {
     }
     lp.add_row(std::move(terms), cc.sense, cc.rhs);
   }
-  const LpResult lp_result = solve_lp(lp);
+  const LpResult lp_result = solve_lp(lp, node_lp_params());
   absorb_lp(lp_result);
+  // kNumericalFailure (recovery exhausted) keeps the node: skipping the LP
+  // prune is always sound, just slower.
   return lp_result.status != LpStatus::kInfeasible;  // true = keep node
 }
 
@@ -507,6 +544,21 @@ void BnbSearch::absorb_lp(const LpResult& lp_result) {
   stats_.simplex_iterations += lp_result.iterations;
   stats_.simplex_pivots += lp_result.pivots;
   stats_.simplex_refactorizations += lp_result.refactorizations;
+  stats_.lp_recoveries += lp_result.recoveries;
+  if (lp_result.status == LpStatus::kNumericalFailure) {
+    ++stats_.numerical_failures;
+  }
+}
+
+LpParams BnbSearch::node_lp_params() const {
+  LpParams lp;
+  lp.should_abort = [this] { return limits_hit(); };
+  return lp;
+}
+
+void BnbSearch::mark_incomplete() {
+  incomplete_ = true;
+  if (ctx_ != nullptr) ctx_->flag_incomplete();
 }
 
 void BnbSearch::export_stats(MilpSolution& result) {
@@ -598,6 +650,7 @@ bool BnbSearch::cancel_requested() const {
 }
 
 bool BnbSearch::limits_hit() const {
+  if (SPARCS_FAILPOINT("milp.solve.timeout")) return true;
   if (ctx_ != nullptr) return ctx_->global_limits_hit();
   if (cancel_requested()) return true;
   return nodes_ >= params_.node_limit ||
@@ -635,10 +688,21 @@ bool BnbSearch::handle_leaf(MilpSolution& result) {
   std::vector<double> candidate;
   bool unbounded = false;
   if (complete_continuous(candidate, &unbounded)) {
+    if (SPARCS_FAILPOINT("milp.bnb.corrupt_leaf") && !candidate.empty()) {
+      // Simulates a wrong completion (the failure the checker gate exists
+      // for); the corrupted candidate must be rejected, never returned.
+      candidate[0] += 1e3;
+    }
     // Exact final check guards against tolerance drift across propagation.
+    // Every accepted incumbent passes through here, so a numerically wrong
+    // completion is rejected (and counted) rather than returned.
     if (check_solution(model_, candidate, 1e2 * params_.feasibility_tol)
             .ok) {
       record_incumbent(std::move(candidate), result);
+    } else {
+      ++stats_.checker_rejections;
+      mark_incomplete();
+      SPARCS_WLOG << "rejected checker-invalid completion at node " << nodes_;
     }
   } else if (unbounded && !have_incumbent_) {
     if (ctx_ != nullptr) {
@@ -704,26 +768,52 @@ void BnbSearch::search_loop(MilpSolution& result) {
                     << " incumbent="
                     << (have_incumbent_ ? incumbent_obj_ : kInfinity);
       }
-      const VarId v = pick_branch_var();
-      if (v < 0) {
-        if (handle_leaf(result)) break;
-        descend = false;  // backtrack to explore alternatives
-        continue;
-      }
-      if (lp_bounding && !lp_prune()) {
-        ++stats_.nodes_pruned_by_bound;
+      // Node body under an allocation guard: on bad_alloc the node is rolled
+      // back (its subtree dropped, the search marked incomplete) and the DFS
+      // resumes with the siblings, up to kMaxAllocationFailures times.
+      try {
+        if (SPARCS_FAILPOINT("milp.bnb.alloc_fail")) throw std::bad_alloc();
+        const VarId v = pick_branch_var();
+        if (v < 0) {
+          if (handle_leaf(result)) break;
+          descend = false;  // backtrack to explore alternatives
+          continue;
+        }
+        if (lp_bounding && !lp_prune()) {
+          ++stats_.nodes_pruned_by_bound;
+          descend = false;
+          continue;
+        }
+        Frame frame;
+        frame.var = v;
+        frame.branches = make_branches(v);
+        frame.trail_mark = domains_.checkpoint();
+        if (ctx_ != nullptr && frame.branches.size() > 1 && ctx_->hungry()) {
+          donate_siblings(frame);
+        }
+        stack_.push_back(std::move(frame));
+        path_.push_back(-1);
+      } catch (const std::bad_alloc&) {
+        if (stack_.size() > path_.size()) {
+          // path_.push_back threw after stack_.push_back: undo the frame to
+          // restore the stack/path pairing.
+          domains_.rollback(stack_.back().trail_mark);
+          stack_.pop_back();
+        }
+        ++stats_.allocation_failures;
+        mark_incomplete();
+        SPARCS_WLOG << "allocation failure at node " << nodes_
+                    << "; dropping subtree ("
+                    << stats_.allocation_failures << "/"
+                    << kMaxAllocationFailures << ")";
+        if (stats_.allocation_failures >= kMaxAllocationFailures) {
+          alloc_stop_ = true;
+          stop_ = true;
+          break;
+        }
         descend = false;
         continue;
       }
-      Frame frame;
-      frame.var = v;
-      frame.branches = make_branches(v);
-      frame.trail_mark = domains_.checkpoint();
-      if (ctx_ != nullptr && frame.branches.size() > 1 && ctx_->hungry()) {
-        donate_siblings(frame);
-      }
-      stack_.push_back(std::move(frame));
-      path_.push_back(-1);
       const auto depth =
           static_cast<std::int64_t>(stack_.size() + base_rank_.size());
       if (depth > stats_.max_depth) stats_.max_depth = depth;
@@ -777,17 +867,22 @@ MilpSolution BnbSearch::run() {
 
   export_stats(result);
   result.seconds = stopwatch_.seconds();
-  if (stop_ && have_incumbent_) {
+  if (stop_ && have_incumbent_ && !alloc_stop_) {
     // Early stop after recording a solution (first-feasible or pure
     // feasibility mode); status was set in record_incumbent.
   } else if (have_incumbent_) {
-    result.status =
-        limits_hit() ? SolveStatus::kFeasible : SolveStatus::kOptimal;
+    // An incomplete tree (dropped subtrees) can still certify feasibility,
+    // but no longer optimality.
+    result.status = limits_hit() || incomplete_ ? SolveStatus::kFeasible
+                                                : SolveStatus::kOptimal;
   } else if (result.status == SolveStatus::kUnbounded) {
     // keep
+  } else if (limits_hit()) {
+    result.status = SolveStatus::kLimitReached;
   } else {
-    result.status =
-        limits_hit() ? SolveStatus::kLimitReached : SolveStatus::kInfeasible;
+    // Exhaustion only proves infeasibility when no subtree was dropped.
+    result.status = incomplete_ ? SolveStatus::kNumericalFailure
+                                : SolveStatus::kInfeasible;
   }
   if (have_incumbent_) {
     result.values = incumbent_;
@@ -801,6 +896,13 @@ void BnbSearch::run_worker() {
   Subproblem node;
   MilpSolution sink;  // workers report through ctx_, never through a result
   while (ctx_->acquire(node)) {
+    double stall_sec = 0.0;
+    if (SPARCS_FAILPOINT_STALL("milp.bnb.worker_stall", &stall_sec) &&
+        stall_sec > 0.0) {
+      // Simulates a wedged worker; the deadline watchdog (or the time limit)
+      // must still terminate the solve through cooperative cancellation.
+      std::this_thread::sleep_for(std::chrono::duration<double>(stall_sec));
+    }
     base_rank_ = std::move(node.rank);
     domains_.reset_to(node.lb, node.ub);
     stack_.clear();
@@ -905,20 +1007,25 @@ MilpSolution solve_parallel(const Model& model, const SolverParams& params,
   const bool limit_stopped = ctx.budget_limits_hit();
   if (ctx.have_solution()) {
     if (first_feasible_mode) {
-      result.status = params.stop_at_first_feasible ? SolveStatus::kFeasible
-                                                    : SolveStatus::kOptimal;
+      result.status = params.stop_at_first_feasible || ctx.incomplete()
+                          ? SolveStatus::kFeasible
+                          : SolveStatus::kOptimal;
     } else {
-      result.status =
-          limit_stopped ? SolveStatus::kFeasible : SolveStatus::kOptimal;
+      result.status = limit_stopped || ctx.incomplete()
+                          ? SolveStatus::kFeasible
+                          : SolveStatus::kOptimal;
     }
     const double obj = ctx.solution_objective();
     result.values = ctx.take_values();
     result.objective = flipped ? -obj : obj;
   } else if (ctx.unbounded()) {
     result.status = SolveStatus::kUnbounded;
+  } else if (limit_stopped) {
+    result.status = SolveStatus::kLimitReached;
   } else {
-    result.status =
-        limit_stopped ? SolveStatus::kLimitReached : SolveStatus::kInfeasible;
+    // With dropped subtrees an exhausted pool no longer proves infeasibility.
+    result.status = ctx.incomplete() ? SolveStatus::kNumericalFailure
+                                     : SolveStatus::kInfeasible;
   }
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/logging.hpp"
 #include "support/span.hpp"
 
@@ -55,6 +56,11 @@ class SimplexTableau {
   void set_phase(int phase);
   double infeasibility_sum() const;
   void extract(LpResult& result) const;
+  /// False once roundoff has blown up: any non-finite basic value or reduced
+  /// cost. Declaring optimality/infeasibility from such a state would be
+  /// wrong (NaN comparisons silently read as "optimal"), so callers bail out
+  /// with kNumericalFailure instead.
+  bool state_is_finite() const;
 
   const LpParams& params_;
   int m_ = 0;         ///< number of rows
@@ -357,6 +363,16 @@ bool SimplexTableau::iterate(int entering, bool* made_progress) {
   return true;
 }
 
+bool SimplexTableau::state_is_finite() const {
+  for (const double v : xb_) {
+    if (!std::isfinite(v)) return false;
+  }
+  for (const double v : d_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 double SimplexTableau::infeasibility_sum() const {
   double total = 0.0;
   for (int i = 0; i < m_; ++i) {
@@ -397,11 +413,45 @@ LpResult SimplexTableau::run() {
 
 LpResult SimplexTableau::run_phases() {
   LpResult result;
+  if (SPARCS_FAILPOINT("milp.simplex.blowup")) {
+    // Poison the state the way a real blow-up would (instead of returning the
+    // failure status directly) so the detection path itself is exercised.
+    if (!xb_.empty()) {
+      xb_[0] = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      result.status = LpStatus::kNumericalFailure;
+      return result;
+    }
+  }
+  if (SPARCS_FAILPOINT("milp.simplex.cycle")) {
+    // Emulates the degenerate-cycling detector giving up (Bland's rule ran
+    // cycle_limit iterations without terminating).
+    result.status = LpStatus::kNumericalFailure;
+    return result;
+  }
   int stall = 0;
+  int bland_run = 0;  ///< consecutive iterations under Bland's rule
   for (phase_ = 1; phase_ <= 2;) {
-    const int entering = choose_entering(stall > params_.stall_threshold);
+    const bool bland = stall > params_.stall_threshold;
+    if (bland) {
+      // Bland's rule terminates in exact arithmetic; if it spins this long we
+      // are cycling on roundoff and no pivoting rule will save us.
+      if (++bland_run > params_.cycle_limit) {
+        result.status = LpStatus::kNumericalFailure;
+        result.iterations = iterations_;
+        return result;
+      }
+    } else {
+      bland_run = 0;
+    }
+    const int entering = choose_entering(bland);
     if (entering < 0) {
       // Current phase optimal.
+      if (!state_is_finite()) {
+        result.status = LpStatus::kNumericalFailure;
+        result.iterations = iterations_;
+        return result;
+      }
       if (phase_ == 1) {
         if (infeasibility_sum() > 1e3 * params_.feasibility_tol) {
           result.status = LpStatus::kInfeasible;
@@ -410,6 +460,7 @@ LpResult SimplexTableau::run_phases() {
         }
         set_phase(2);
         stall = 0;
+        bland_run = 0;
         continue;
       }
       result.status = LpStatus::kOptimal;
@@ -419,6 +470,11 @@ LpResult SimplexTableau::run_phases() {
     }
     bool progress = false;
     if (!iterate(entering, &progress)) {
+      if (!state_is_finite()) {
+        result.status = LpStatus::kNumericalFailure;
+        result.iterations = iterations_;
+        return result;
+      }
       result.status =
           phase_ == 1 ? LpStatus::kInfeasible : LpStatus::kUnbounded;
       result.iterations = iterations_;
@@ -430,15 +486,43 @@ LpResult SimplexTableau::run_phases() {
       result.iterations = iterations_;
       return result;
     }
+    if (params_.should_abort && iterations_ % 128 == 0 &&
+        params_.should_abort()) {
+      result.status = LpStatus::kIterationLimit;
+      result.iterations = iterations_;
+      return result;
+    }
     // Periodic refresh guards against accumulated roundoff in the cost row.
     if (iterations_ % 512 == 0) {
       compute_reduced_costs();
       ++refactorizations_;
+      if (!state_is_finite()) {
+        result.status = LpStatus::kNumericalFailure;
+        result.iterations = iterations_;
+        return result;
+      }
     }
   }
   result.status = LpStatus::kIterationLimit;
   result.iterations = iterations_;
   return result;
+}
+
+}  // namespace
+
+namespace {
+
+/// Relaxes every finite bound outward by a relative epsilon. The perturbed
+/// feasible region is a superset of the original, so an LP bound computed on
+/// it is still a valid (conservative) bound for branch & bound pruning.
+LpProblem perturb_bounds_outward(const LpProblem& problem, double eps) {
+  LpProblem out = problem;
+  for (int j = 0; j < out.num_vars(); ++j) {
+    const std::size_t i = static_cast<std::size_t>(j);
+    if (std::isfinite(out.lb[i])) out.lb[i] -= eps * (1.0 + std::abs(out.lb[i]));
+    if (std::isfinite(out.ub[i])) out.ub[i] += eps * (1.0 + std::abs(out.ub[i]));
+  }
+  return out;
 }
 
 }  // namespace
@@ -455,8 +539,33 @@ LpResult solve_lp(const LpProblem& problem, const LpParams& params) {
       return result;
     }
   }
-  SimplexTableau tableau(problem, params);
-  return tableau.run();
+  LpResult result = SimplexTableau(problem, params).run();
+  // Numerical-failure recovery: retry with Bland's rule from iteration 0
+  // (attempt 1) and additionally with outward bound perturbation (later
+  // attempts). Iteration/pivot counts accumulate across attempts.
+  for (int attempt = 1;
+       result.status == LpStatus::kNumericalFailure &&
+       attempt <= params.max_recoveries;
+       ++attempt) {
+    SPARCS_LOG(kDebug) << "simplex recovery attempt " << attempt
+                       << " (Bland" << (attempt > 1 ? " + perturbation" : "")
+                       << ")";
+    LpParams retry = params;
+    retry.stall_threshold = 0;  // Bland's rule from the first iteration
+    LpResult prior = result;
+    if (attempt > 1) {
+      const LpProblem perturbed = perturb_bounds_outward(
+          problem, params.perturbation * static_cast<double>(attempt));
+      result = SimplexTableau(perturbed, retry).run();
+    } else {
+      result = SimplexTableau(problem, retry).run();
+    }
+    result.iterations += prior.iterations;
+    result.pivots += prior.pivots;
+    result.refactorizations += prior.refactorizations;
+    result.recoveries = attempt;
+  }
+  return result;
 }
 
 LpProblem relaxation_of(const Model& model, bool* flip_objective) {
@@ -491,6 +600,8 @@ std::string to_string(SolveStatus status) {
       return "unbounded";
     case SolveStatus::kLimitReached:
       return "limit-reached";
+    case SolveStatus::kNumericalFailure:
+      return "numerical-failure";
   }
   return "unknown";
 }
@@ -505,6 +616,8 @@ std::string to_string(LpStatus status) {
       return "unbounded";
     case LpStatus::kIterationLimit:
       return "iteration-limit";
+    case LpStatus::kNumericalFailure:
+      return "numerical-failure";
   }
   return "unknown";
 }

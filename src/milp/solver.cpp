@@ -35,6 +35,13 @@ void export_to_registry(const MilpSolution& solution) {
   static metrics::Counter& sx_pivots = reg.counter("milp.simplex.pivots");
   static metrics::Counter& sx_refactor =
       reg.counter("milp.simplex.refactorizations");
+  static metrics::Counter& num_failures =
+      reg.counter("milp.numerical_failures");
+  static metrics::Counter& lp_recoveries = reg.counter("milp.lp_recoveries");
+  static metrics::Counter& checker_rejections =
+      reg.counter("milp.checker_rejections");
+  static metrics::Counter& alloc_failures =
+      reg.counter("milp.allocation_failures");
   static metrics::Timer& solve_timer = reg.timer("milp.solve");
   static metrics::Gauge& depth_gauge = reg.gauge("milp.bnb.last_max_depth");
 
@@ -52,6 +59,10 @@ void export_to_registry(const MilpSolution& solution) {
   sx_iters.add(s.simplex_iterations);
   sx_pivots.add(s.simplex_pivots);
   sx_refactor.add(s.simplex_refactorizations);
+  num_failures.add(s.numerical_failures);
+  lp_recoveries.add(s.lp_recoveries);
+  checker_rejections.add(s.checker_rejections);
+  alloc_failures.add(s.allocation_failures);
   solve_timer.record(solution.seconds);
   depth_gauge.set(static_cast<double>(s.max_depth));
 }
@@ -83,7 +94,12 @@ MilpSolution Solver::solve() {
 
 void Solver::cancel() { cancel_.request_cancel(); }
 
-void Solver::reset_cancel() { cancel_ = CancelToken::create(); }
+// Clears the shared flag in place rather than swapping in a fresh token:
+// cancel() is documented safe from any thread, and re-assigning the
+// shared_ptr would both race the concurrent read and let a cancel() that
+// grabbed the old token fire into a retired flag — silently dropping the
+// cancellation meant for the next solve.
+void Solver::reset_cancel() { cancel_.reset(); }
 
 void Solver::set_incumbent_callback(IncumbentCallback callback) {
   on_incumbent_ = std::move(callback);

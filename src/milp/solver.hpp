@@ -38,6 +38,10 @@ class Solver {
   void cancel();
 
   /// Re-arms a session whose cancel() was used, allowing further solves.
+  /// The session keeps one cancellation flag for its whole lifetime (the
+  /// flag is cleared in place), so a cancel() racing a reset from another
+  /// thread is never dropped: it either cancels the finishing solve or the
+  /// next one, never neither.
   void reset_cancel();
 
   [[nodiscard]] bool cancel_requested() const { return cancel_.cancelled(); }

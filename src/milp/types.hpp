@@ -47,6 +47,9 @@ enum class SolveStatus : std::uint8_t {
   kInfeasible,    ///< search exhausted with no feasible solution
   kUnbounded,     ///< objective unbounded below (minimization)
   kLimitReached,  ///< node/time limit hit before any feasible solution
+  kNumericalFailure,  ///< simplex blow-up/cycling exhausted every recovery
+                      ///< (Bland's rule, bound perturbation, node rollback)
+                      ///< before any feasible solution was found
 };
 
 [[nodiscard]] std::string to_string(SolveStatus status);
@@ -76,6 +79,14 @@ class CancelToken {
 
   [[nodiscard]] bool cancelled() const {
     return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms a live token by clearing the shared flag in place. Unlike
+  /// re-assigning a fresh token, every existing copy keeps observing the
+  /// same flag, so there is no window where a concurrent request_cancel()
+  /// lands on a retired flag and gets dropped.
+  void reset() const {
+    if (flag_) flag_->store(false, std::memory_order_relaxed);
   }
 
  private:
@@ -169,6 +180,12 @@ struct SolverStats {
   std::int64_t simplex_pivots = 0;           ///< basis changes
   std::int64_t simplex_refactorizations = 0;  ///< reduced-cost refreshes
 
+  // Robustness: numerical-failure recovery and incumbent validation.
+  std::int64_t numerical_failures = 0;   ///< LP solves lost to blow-up/cycling
+  std::int64_t lp_recoveries = 0;        ///< LP solves saved by Bland/perturb
+  std::int64_t checker_rejections = 0;   ///< incumbents rejected by validation
+  std::int64_t allocation_failures = 0;  ///< nodes rolled back on bad_alloc
+
   /// Accumulates another solve's stats (sums; max for max_depth).
   void merge(const SolverStats& other) {
     nodes_explored += other.nodes_explored;
@@ -186,6 +203,10 @@ struct SolverStats {
     simplex_iterations += other.simplex_iterations;
     simplex_pivots += other.simplex_pivots;
     simplex_refactorizations += other.simplex_refactorizations;
+    numerical_failures += other.numerical_failures;
+    lp_recoveries += other.lp_recoveries;
+    checker_rejections += other.checker_rejections;
+    allocation_failures += other.allocation_failures;
   }
 };
 
@@ -210,6 +231,7 @@ enum class LpStatus : std::uint8_t {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  kNumericalFailure,  ///< non-finite tableau values or unrecoverable cycling
 };
 
 [[nodiscard]] std::string to_string(LpStatus status);
@@ -222,6 +244,8 @@ struct LpResult {
   int iterations = 0;
   int pivots = 0;            ///< basis changes (iterations minus bound flips)
   int refactorizations = 0;  ///< periodic reduced-cost refreshes
+  int recoveries = 0;  ///< numerical-failure retries (Bland / perturbation)
+                       ///< that were needed to produce this result
 };
 
 }  // namespace sparcs::milp

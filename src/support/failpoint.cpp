@@ -1,0 +1,122 @@
+#include "support/failpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace sparcs::failpoint {
+namespace {
+
+std::string trim(const std::string& text) {
+  std::size_t begin = text.find_first_not_of(" \t");
+  const std::size_t end = text.find_last_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  return text.substr(begin, end - begin + 1);
+}
+
+struct Site {
+  Spec spec;
+  int hits = 0;      ///< evaluations since armed
+  int triggers = 0;  ///< times the site actually fired
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+/// Fast path: number of currently armed sites; 0 short-circuits should_fail
+/// without taking the registry lock (failpoint builds still run the full
+/// test suite, so unarmed sites must stay cheap).
+std::atomic<int> armed_count{0};
+
+void parse_env_spec(const std::string& entry) {
+  const std::size_t eq = entry.find('=');
+  std::string name = trim(eq == std::string::npos ? entry : entry.substr(0, eq));
+  if (name.empty()) return;
+  Spec spec;
+  if (eq != std::string::npos) {
+    const std::string count = trim(entry.substr(eq + 1));
+    spec.max_hits = std::atoi(count.c_str());
+    if (spec.max_hits <= 0) spec.max_hits = -1;
+  }
+  arm(name, spec);
+}
+
+}  // namespace
+
+void arm(const std::string& name, Spec spec) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const bool existed = reg.sites.count(name) > 0;
+  reg.sites[name] = Site{spec, 0, 0};
+  if (!existed) armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.sites.erase(name) > 0) {
+    armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  armed_count.fetch_sub(static_cast<int>(reg.sites.size()),
+                        std::memory_order_relaxed);
+  reg.sites.clear();
+}
+
+bool should_fail(const std::string& name, double* stall_sec) {
+  if (stall_sec != nullptr) *stall_sec = 0.0;
+  arm_from_env();
+  if (armed_count.load(std::memory_order_relaxed) == 0) return false;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(name);
+  if (it == reg.sites.end()) return false;
+  Site& site = it->second;
+  const int hit = site.hits++;
+  if (hit < site.spec.skip) return false;
+  if (site.spec.max_hits >= 0 && site.triggers >= site.spec.max_hits) {
+    return false;
+  }
+  ++site.triggers;
+  if (stall_sec != nullptr) *stall_sec = site.spec.stall_sec;
+  return true;
+}
+
+int trigger_count(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(name);
+  return it == reg.sites.end() ? 0 : it->second.triggers;
+}
+
+void arm_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("SPARCS_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    std::string entry;
+    for (const char* p = env;; ++p) {
+      if (*p == ',' || *p == ';' || *p == '\0') {
+        parse_env_spec(entry);
+        entry.clear();
+        if (*p == '\0') break;
+      } else {
+        entry += *p;
+      }
+    }
+  });
+}
+
+}  // namespace sparcs::failpoint

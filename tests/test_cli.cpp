@@ -23,19 +23,19 @@ CliRun run_cli(const std::vector<std::string>& args) {
 
 TEST(CliTest, NoArgsPrintsUsage) {
   const CliRun r = run_cli({});
-  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.exit_code, 4);
   EXPECT_NE(r.err.find("usage:"), std::string::npos);
 }
 
 TEST(CliTest, UnknownOptionFails) {
   const CliRun r = run_cli({"--workload", "ar", "--bogus"});
-  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.exit_code, 4);
   EXPECT_NE(r.err.find("--bogus"), std::string::npos);
 }
 
 TEST(CliTest, WorkloadAndFileAreExclusive) {
   const CliRun r = run_cli({"somefile.tg", "--workload", "ar"});
-  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.exit_code, 4);
 }
 
 TEST(CliTest, RunsArWorkload) {
@@ -91,7 +91,7 @@ edge a b 8
 
 TEST(CliTest, MissingFileFails) {
   const CliRun r = run_cli({"/nonexistent/path.tg"});
-  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.exit_code, 4);
   EXPECT_NE(r.err.find("cannot open"), std::string::npos);
 }
 
@@ -185,7 +185,7 @@ TEST(CliTest, ThreadsFlagIsAcceptedAndValidated) {
   EXPECT_NE(r.out.find("best:"), std::string::npos);
 
   const CliRun bad = run_cli({"--workload", "ar", "--threads", "-1"});
-  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_EQ(bad.exit_code, 4);
   EXPECT_NE(bad.err.find("--threads"), std::string::npos);
 }
 
@@ -203,16 +203,59 @@ TEST(CliTest, LogLevelFlagControlsTraceTable) {
   EXPECT_EQ(silent.out.find("Dmax(ns)"), std::string::npos);
 
   const CliRun bad = run_cli({"--workload", "ar", "--log-level", "verbose"});
-  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_EQ(bad.exit_code, 4);
   EXPECT_NE(bad.err.find("unknown log level"), std::string::npos);
 }
 
-TEST(CliTest, InfeasibleDeviceReportsExitCode1) {
+TEST(CliTest, InfeasibleDeviceReportsExitCode2) {
   // Memory too small for the AR filter's environment data.
   const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
                             "1", "--ct", "50", "--delta", "20", "--quiet"});
-  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.out.find("no feasible"), std::string::npos);
+}
+
+TEST(CliTest, DeadlineFlagIsValidated) {
+  const CliRun bad = run_cli({"--workload", "ar", "--deadline-sec", "0"});
+  EXPECT_EQ(bad.exit_code, 4);
+  EXPECT_NE(bad.err.find("--deadline-sec"), std::string::npos);
+}
+
+TEST(CliTest, GenerousDeadlineStillSucceeds) {
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet",
+                            "--deadline-sec", "300"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("best:"), std::string::npos);
+  EXPECT_EQ(r.out.find("degraded"), std::string::npos);
+}
+
+TEST(CliTest, TightDeadlineReportsDegradedExitCode3) {
+  // A sub-millisecond deadline cannot finish the sweep: the CLI must still
+  // return (no hang), print the degradation summary, and exit 3. A fine
+  // delta makes the unconstrained sweep long enough that expiry mid-run is
+  // certain.
+  const std::string report = ::testing::TempDir() + "/cli_degraded.json";
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "0.05", "--quiet",
+                            "--deadline-sec", "0.001", "--report-json",
+                            report});
+  EXPECT_EQ(r.exit_code, 3) << r.out << r.err;
+  EXPECT_NE(r.out.find("degraded"), std::string::npos);
+
+  std::ifstream report_in(report);
+  ASSERT_TRUE(report_in.good());
+  std::stringstream report_text;
+  report_text << report_in.rdbuf();
+  EXPECT_NE(report_text.str().find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(report_text.str().find("\"stages\""), std::string::npos);
+  std::remove(report.c_str());
+}
+
+TEST(CliTest, UsageDocumentsExitCodes) {
+  const CliRun r = run_cli({});
+  EXPECT_NE(r.err.find("exit codes"), std::string::npos);
+  EXPECT_NE(r.err.find("--deadline-sec"), std::string::npos);
 }
 
 }  // namespace

@@ -126,5 +126,90 @@ TEST(CsvTest, TraceRoundTripShape) {
   EXPECT_NE(s.find(",17,3\n"), std::string::npos);
 }
 
+TEST(CsvTest, ParseHandlesQuotingAndCrlf) {
+  const auto rows = parse_csv("a,\"b,c\",\"say \"\"hi\"\"\"\r\nd,\"multi\nline\",f\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b,c", "say \"hi\""}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"d", "multi\nline", "f"}));
+}
+
+TEST(CsvTest, ParseRowsTrackLineNumbers) {
+  const auto rows = parse_csv_rows("h1,h2\n\"a\nb\",c\nx,y\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].line, 1);
+  EXPECT_EQ(rows[1].line, 2);  // quoted cell spans lines 2-3
+  EXPECT_EQ(rows[2].line, 4);
+}
+
+TEST(CsvTest, ParseRejectsMalformedQuoting) {
+  EXPECT_THROW(parse_csv("a,\"unterminated\n"), InvalidArgumentError);
+  EXPECT_THROW(parse_csv("a,b\"c\n"), InvalidArgumentError);
+  EXPECT_THROW(parse_csv("a,\"x\"tail\n"), InvalidArgumentError);
+}
+
+TEST(CsvTest, TraceRoundTripThroughReader) {
+  core::Trace trace;
+  for (int i = 0; i < 3; ++i) {
+    core::IterationRecord r;
+    r.num_partitions = 3 + i;
+    r.iteration = i + 1;
+    r.d_max_bound = 100.0 + i;
+    r.d_min_bound = 50.0;
+    r.outcome = i == 1 ? core::IterationOutcome::kInfeasible
+                       : core::IterationOutcome::kFeasible;
+    r.achieved_latency = 90.0 - i;
+    r.nodes = 11 * (i + 1);
+    r.seconds = 0.25;
+    r.stats.simplex_iterations = 17 + i;
+    r.stats.nodes_pruned_by_bound = 2;
+    trace.push_back(r);
+  }
+  std::ostringstream os;
+  write_trace_csv(os, trace);
+  const core::Trace parsed = read_trace_csv_string(os.str());
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed[i].num_partitions, trace[i].num_partitions);
+    EXPECT_EQ(parsed[i].iteration, trace[i].iteration);
+    EXPECT_DOUBLE_EQ(parsed[i].d_max_bound, trace[i].d_max_bound);
+    EXPECT_EQ(parsed[i].outcome, trace[i].outcome);
+    EXPECT_EQ(parsed[i].nodes, trace[i].nodes);
+    EXPECT_EQ(parsed[i].stats.simplex_iterations,
+              trace[i].stats.simplex_iterations);
+  }
+}
+
+TEST(CsvTest, ReaderRejectsCorruptTraces) {
+  const std::string header =
+      "N,iteration,d_max_bound,d_min_bound,outcome,achieved_latency_ns,"
+      "nodes,seconds,simplex_iterations,nodes_pruned\n";
+  struct Case {
+    const char* label;
+    std::string text;
+  };
+  const Case cases[] = {
+      {"empty input", ""},
+      {"wrong header", "N,iteration\n1,2\n"},
+      {"reordered header",
+       "iteration,N,d_max_bound,d_min_bound,outcome,achieved_latency_ns,"
+       "nodes,seconds,simplex_iterations,nodes_pruned\n"},
+      {"truncated row", header + "3,1,100,50,feasible\n"},
+      {"extra field", header + "3,1,100,50,feasible,90,11,0.25,17,3,junk\n"},
+      {"bad number", header + "3,one,100,50,feasible,90,11,0.25,17,3\n"},
+      {"non-finite", header + "3,1,inf,50,feasible,90,11,0.25,17,3\n"},
+      {"negative count", header + "3,1,100,50,feasible,90,-11,0.25,17,3\n"},
+      {"unknown outcome", header + "3,1,100,50,maybe,90,11,0.25,17,3\n"},
+      {"overflow", header + "99999999999,1,100,50,feasible,90,11,0.25,17,3\n"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_THROW(read_trace_csv_string(c.text), InvalidArgumentError)
+        << c.label;
+  }
+  // Blank lines (a common truncation artifact) are tolerated, not fatal.
+  const core::Trace ok = read_trace_csv_string(
+      header + "\n3,1,100,50,feasible,90,11,0.25,17,3\n\n");
+  EXPECT_EQ(ok.size(), 1u);
+}
+
 }  // namespace
 }  // namespace sparcs::io

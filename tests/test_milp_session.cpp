@@ -127,6 +127,53 @@ TEST(MilpSessionTest, CancelMidSolveReturnsLimitReachedParallel) {
   EXPECT_EQ(bounded.status, SolveStatus::kLimitReached);
 }
 
+TEST(MilpSessionTest, TokenResetClearsSharedFlagInPlace) {
+  // Regression: re-arming by *replacing* the token would detach every copy
+  // taken earlier (a cancel through an old copy would be silently dropped).
+  // CancelToken::reset() clears the shared flag in place, so all copies —
+  // including the one the session holds — stay wired together.
+  const Model m = knapsack_model();
+  SolverParams params = optimality_params();
+  params.cancel = CancelToken::create();
+  CancelToken token = params.cancel;
+  Solver solver(m, params);
+  token.request_cancel();
+  EXPECT_EQ(solver.solve().status, SolveStatus::kLimitReached);
+
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(solver.solve().status, SolveStatus::kOptimal);
+
+  // A cancel through the original copy still lands on the session.
+  token.request_cancel();
+  EXPECT_EQ(solver.solve().status, SolveStatus::kLimitReached);
+}
+
+TEST(MilpSessionTest, ConcurrentCancelDuringResetIsNeverDropped) {
+  // Hammer the reset/cancel pair: a cancel that lands concurrently with
+  // reset_cancel() must either affect the solve it targeted or the next
+  // one — never vanish. With the old swap-the-flag implementation this
+  // test hangs or hits the time limit safety net.
+  const Model m = parity_hard_model(52);
+  SolverParams params;
+  params.time_limit_sec = 30.0;  // safety net if a cancel were lost
+  params.num_threads = 2;
+  Solver solver(m, params);
+  for (int round = 0; round < 8; ++round) {
+    std::thread canceller([&solver] { solver.cancel(); });
+    solver.reset_cancel();
+    canceller.join();
+    // Whatever interleaving happened, the session must still terminate
+    // promptly: either this solve sees the cancel (kLimitReached fast) or
+    // the cancel landed before the reset and the solve runs bounded.
+    solver.cancel();
+    const MilpSolution s = solver.solve();
+    EXPECT_EQ(s.status, SolveStatus::kLimitReached) << "round " << round;
+    solver.reset_cancel();
+    EXPECT_FALSE(solver.cancel_requested()) << "round " << round;
+  }
+}
+
 TEST(MilpSessionTest, IncumbentCallbackObservesImprovingSolutions) {
   const Model m = knapsack_model();
   Solver solver(m, optimality_params());

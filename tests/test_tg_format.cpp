@@ -78,6 +78,40 @@ TEST(TgFormatTest, RejectsDuplicatesAndBadNumbers) {
       InvalidArgumentError);
 }
 
+TEST(TgFormatTest, RejectsCorruptNumericFields) {
+  // Truncated or bit-flipped files must produce a classified error naming
+  // the offending line, never a silent misparse into nonsense quantities.
+  struct Case {
+    const char* label;
+    const char* text;
+    const char* line_tag;
+  };
+  const Case cases[] = {
+      {"nan latency", "task a\npoint a m 10 nan\n", "line 2"},
+      {"inf area", "task a\npoint a m inf 10\n", "line 2"},
+      {"overflow to inf", "task a\npoint a m 1e999 10\n", "line 2"},
+      {"negative area", "task a\npoint a m -5 10\n", "line 2"},
+      {"negative latency", "task a\npoint a m 10 -1\n", "line 2"},
+      {"negative env", "task a -3\n", "line 1"},
+      {"negative device param", "device d 200 -64 50\ntask a\n", "line 1"},
+      {"negative edge units",
+       "task a\npoint a m 1 1\ntask b\npoint b m 1 1\nedge a b -2\n",
+       "line 5"},
+      {"truncated device line", "device d 200 64\n", "line 1"},
+      {"truncated point line", "task a\npoint a m 10\n", "line 2"},
+      {"number with trailing junk", "task a 1.5x\n", "line 1"},
+  };
+  for (const Case& c : cases) {
+    try {
+      read_task_graph_string(c.text);
+      FAIL() << c.label << ": expected InvalidArgumentError";
+    } catch (const InvalidArgumentError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.line_tag), std::string::npos)
+          << c.label << ": " << e.what();
+    }
+  }
+}
+
 TEST(TgFormatTest, GraphValidationStillApplies) {
   // A cyclic file parses structurally but fails validation.
   EXPECT_THROW(read_task_graph_string(R"(graph g
