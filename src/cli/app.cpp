@@ -16,6 +16,7 @@
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/span.hpp"
+#include "support/telemetry.hpp"
 #include "workloads/ar_filter.hpp"
 #include "workloads/dct.hpp"
 #include "workloads/ewf.hpp"
@@ -42,6 +43,12 @@ struct Arguments {
   std::string metrics_json_file;
   std::string trace_json_file;
   std::string report_json_file;
+  std::string telemetry_jsonl_file;
+  double telemetry_interval_ms = 200.0;
+  bool progress = false;
+  std::string search_tree_json_file;
+  std::string search_tree_dot_file;
+  std::string log_json_file;
 };
 
 LogLevel parse_log_level(const std::string& name) {
@@ -104,6 +111,20 @@ Arguments parse_args(const std::vector<std::string>& args) {
       parsed.trace_json_file = value();
     } else if (arg == "--report-json") {
       parsed.report_json_file = value();
+    } else if (arg == "--telemetry-jsonl") {
+      parsed.telemetry_jsonl_file = value();
+    } else if (arg == "--telemetry-interval-ms") {
+      parsed.telemetry_interval_ms = std::stod(value());
+      SPARCS_REQUIRE(parsed.telemetry_interval_ms > 0.0,
+                     "--telemetry-interval-ms must be > 0");
+    } else if (arg == "--progress") {
+      parsed.progress = true;
+    } else if (arg == "--search-tree-json") {
+      parsed.search_tree_json_file = value();
+    } else if (arg == "--search-tree-dot") {
+      parsed.search_tree_dot_file = value();
+    } else if (arg == "--log-json") {
+      parsed.log_json_file = value();
     } else if (!arg.empty() && arg[0] == '-') {
       SPARCS_REQUIRE(false, "unknown option " + arg);
     } else {
@@ -126,18 +147,26 @@ graph::TaskGraph builtin_workload(const std::string& name) {
   return {};
 }
 
-/// Enables the metrics registry and/or the trace recorder for the duration
-/// of one `run()` when the matching --*-json flag was given, and writes the
-/// JSON files on destruction. Restores the disabled state on every exit
-/// path so repeated in-process runs (tests, library embedding) start clean.
+/// Enables the requested observability subsystems (metrics registry, trace
+/// recorder, telemetry sampler, search-tree recorder, JSON log sink) for the
+/// duration of one `run()`, and writes their output files on destruction.
+/// Restores the disabled state on every exit path so repeated in-process
+/// runs (tests, library embedding) start clean.
 class ObservabilityGuard {
  public:
-  ObservabilityGuard(std::string metrics_file, std::string trace_file,
-                     std::ostream& out)
-      : metrics_file_(std::move(metrics_file)),
-        trace_file_(std::move(trace_file)),
+  ObservabilityGuard(const Arguments& parsed, std::ostream& out,
+                     std::ostream& err)
+      : metrics_file_(parsed.metrics_json_file),
+        trace_file_(parsed.trace_json_file),
+        telemetry_file_(parsed.telemetry_jsonl_file),
+        tree_json_file_(parsed.search_tree_json_file),
+        tree_dot_file_(parsed.search_tree_dot_file),
+        log_json_file_(parsed.log_json_file),
         out_(out) {
-    if (!metrics_file_.empty()) {
+    // The telemetry samples embed a metrics snapshot, so --telemetry-jsonl
+    // turns collection on even without --metrics-json (which controls only
+    // whether the end-of-run snapshot file is written).
+    if (!metrics_file_.empty() || !telemetry_file_.empty()) {
       metrics::registry().reset();
       metrics::set_enabled(true);
     }
@@ -145,12 +174,58 @@ class ObservabilityGuard {
       trace::clear();
       trace::set_enabled(true);
     }
+    telemetry::reset_pipeline();
+    if (!tree_json_file_.empty() || !tree_dot_file_.empty()) {
+      telemetry::tree_clear();
+      telemetry::set_tree_active(true);
+    }
+    if (!log_json_file_.empty()) {
+      log_json_os_.open(log_json_file_);
+      if (log_json_os_.good()) {
+        set_json_log_sink(&log_json_os_);
+        // Correlation ids are only allocated while telemetry is active;
+        // without this a sampler-less --log-json run would log corr-less
+        // records that cannot be joined with --trace-json spans.
+        telemetry::set_active(true);
+        activated_telemetry_ = true;
+      } else {
+        SPARCS_ELOG << "cannot write JSON logs to " << log_json_file_;
+        log_json_file_.clear();
+      }
+    }
+    if (!telemetry_file_.empty() || parsed.progress) {
+      std::ostream* sink = &discard_;
+      if (!telemetry_file_.empty()) {
+        telemetry_os_.open(telemetry_file_);
+        if (telemetry_os_.good()) {
+          sink = &telemetry_os_;
+        } else {
+          SPARCS_ELOG << "cannot write telemetry to " << telemetry_file_;
+          telemetry_file_.clear();
+        }
+      }
+      // --progress without --telemetry-jsonl still runs the sampler (it
+      // drives the progress line); records go to an in-memory discard
+      // buffer, bounded by the CLI run's lifetime.
+      telemetry::SamplerOptions sampler;
+      sampler.interval_sec = parsed.telemetry_interval_ms / 1000.0;
+      sampler.sink = sink;
+      sampler.progress = parsed.progress ? &err : nullptr;
+      sampler.include_metrics = true;
+      sampler_started_ = telemetry::start_sampler(sampler);
+    }
   }
   ObservabilityGuard(const ObservabilityGuard&) = delete;
   ObservabilityGuard& operator=(const ObservabilityGuard&) = delete;
   ~ObservabilityGuard() {
-    if (!metrics_file_.empty()) {
+    if (sampler_started_) {
+      telemetry::stop_sampler();
+      if (!telemetry_file_.empty()) out_ << "wrote " << telemetry_file_ << "\n";
+    }
+    if (!metrics_file_.empty() || !telemetry_file_.empty()) {
       metrics::set_enabled(false);
+    }
+    if (!metrics_file_.empty()) {
       std::ofstream os(metrics_file_);
       if (os.good()) {
         os << metrics::registry().snapshot().to_json() << "\n";
@@ -170,12 +245,46 @@ class ObservabilityGuard {
         SPARCS_ELOG << "cannot write trace to " << trace_file_;
       }
     }
+    if (!tree_json_file_.empty() || !tree_dot_file_.empty()) {
+      telemetry::set_tree_active(false);
+      if (!tree_json_file_.empty()) {
+        std::ofstream os(tree_json_file_);
+        if (os.good()) {
+          telemetry::write_tree_json(os);
+          out_ << "wrote " << tree_json_file_ << "\n";
+        } else {
+          SPARCS_ELOG << "cannot write search tree to " << tree_json_file_;
+        }
+      }
+      if (!tree_dot_file_.empty()) {
+        std::ofstream os(tree_dot_file_);
+        if (os.good()) {
+          telemetry::write_tree_dot(os);
+          out_ << "wrote " << tree_dot_file_ << "\n";
+        } else {
+          SPARCS_ELOG << "cannot write search tree to " << tree_dot_file_;
+        }
+      }
+      telemetry::tree_clear();
+    }
+    if (!log_json_file_.empty()) set_json_log_sink(nullptr);
+    if (activated_telemetry_) telemetry::set_active(false);
+    telemetry::reset_pipeline();
   }
 
  private:
   std::string metrics_file_;
   std::string trace_file_;
+  std::string telemetry_file_;
+  std::string tree_json_file_;
+  std::string tree_dot_file_;
+  std::string log_json_file_;
   std::ostream& out_;
+  std::ofstream telemetry_os_;
+  std::ofstream log_json_os_;
+  std::ostringstream discard_;
+  bool sampler_started_ = false;
+  bool activated_telemetry_ = false;
 };
 
 }  // namespace
@@ -200,6 +309,18 @@ options:
   --metrics-json FILE        write a metrics snapshot (counters/gauges/timers)
   --trace-json FILE          write Chrome trace-event JSON (chrome://tracing)
   --report-json FILE         write the partitioner report as JSON
+  --telemetry-jsonl FILE     stream live telemetry samples as JSON Lines: one
+                             record per sampling interval, stage transition
+                             and incumbent improvement (plus start/final)
+  --telemetry-interval-ms N  sampling period for --telemetry-jsonl/--progress
+                             (default 200)
+  --progress                 rewrite a one-line live status report on stderr
+                             (stage, N, incumbent, solves, elapsed)
+  --search-tree-json FILE    dump the recorded branch & bound search tree as
+                             JSON (ring-buffered; schema in DESIGN.md)
+  --search-tree-dot FILE     dump the search tree as Graphviz DOT
+  --log-json FILE            mirror every log statement as a JSON Lines
+                             record carrying the solve correlation id
   --log-level L              debug|info|warning|error|off (default: warning)
   --quiet                    shorthand for --log-level error; also suppresses
                              the iteration trace table (the --*-json files are
@@ -227,8 +348,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     // in-process invocations do not inherit a previous run's level.
     set_log_level(parsed.log_level.value_or(
         parsed.quiet ? LogLevel::kError : LogLevel::kWarning));
-    const ObservabilityGuard observability(parsed.metrics_json_file,
-                                           parsed.trace_json_file, out);
+    const ObservabilityGuard observability(parsed, out, err);
 
     graph::TaskGraph graph;
     std::optional<arch::Device> device;

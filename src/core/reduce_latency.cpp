@@ -6,6 +6,7 @@
 #include "support/logging.hpp"
 #include "support/span.hpp"
 #include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 namespace sparcs::core {
 namespace {
@@ -24,10 +25,17 @@ Probe solve_window(const graph::TaskGraph& graph, const arch::Device& device,
                    const ReduceLatencyParams& params,
                    const PartitionedDesign* hint) {
   Probe probe;
+  // Fresh correlation id scoped over the probe: the span below and the
+  // Solver::solve inside share it, which is what lets a telemetry sample, a
+  // JSON log line and this trace span be joined post-hoc.
+  const std::uint64_t corr =
+      telemetry::active() ? telemetry::next_correlation_id() : 0;
+  telemetry::CorrelationScope corr_scope(corr);
   trace::Span span("Reduce_Latency probe");
   span.arg("N", static_cast<std::int64_t>(num_partitions));
   span.arg("d_max", d_max);
   span.arg("d_min", d_min);
+  if (corr != 0) span.arg("corr", static_cast<std::int64_t>(corr));
   Stopwatch stopwatch;
   IlpFormulation formulation(graph, device, num_partitions, d_max, d_min,
                              params.budget.formulation);
@@ -41,6 +49,11 @@ Probe solve_window(const graph::TaskGraph& graph, const arch::Device& device,
   probe.nodes = solution.nodes_explored;
   probe.stats = solution.stats;
   span.arg("status", milp::to_string(solution.status));
+  // Emitted inside the correlation scope, so a --log-json record exists for
+  // every probe that joins with the matching span and telemetry entries.
+  SPARCS_DLOG << "probe N=" << num_partitions << " window=[" << d_min << ", "
+              << d_max << "] -> " << milp::to_string(solution.status) << " in "
+              << probe.seconds << " s (" << probe.nodes << " nodes)";
   switch (solution.status) {
     case milp::SolveStatus::kFeasible:
     case milp::SolveStatus::kOptimal:

@@ -12,6 +12,7 @@
 #include "support/metrics.hpp"
 #include "support/span.hpp"
 #include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 namespace sparcs::core {
 namespace {
@@ -166,6 +167,8 @@ RefinePartitionsResult refine_partitions_bound(
       if (account.status == StageStatus::kCutShort) result.degraded = true;
     }
     result.seconds = stopwatch.seconds();
+    telemetry::publish_degraded(result.degraded);
+    telemetry::set_stage("done", result.best_num_partitions);
   };
 
   std::unique_ptr<SpeculativeProbe> spec;
@@ -184,6 +187,7 @@ RefinePartitionsResult refine_partitions_bound(
       finish();
       return result;  // provably no solution in the explorable range
     }
+    telemetry::set_stage("phase1", n);
     ReduceLatencyResult reduced;
     const std::size_t first_row = result.trace.size();
     if (spec != nullptr && spec->n == n) {
@@ -208,6 +212,7 @@ RefinePartitionsResult refine_partitions_bound(
       result.best = std::move(reduced.best);
       result.achieved_latency = reduced.achieved_latency;
       result.best_num_partitions = n;
+      telemetry::publish_best_latency(result.achieved_latency, n);
       // Any in-flight speculation used the phase-1 window for N+1; phase 2
       // caps the window at Da instead, so the prediction cannot match.
       spec.reset();
@@ -230,6 +235,7 @@ RefinePartitionsResult refine_partitions_bound(
   // wrong, the run is cancelled, and N+1 is probed inline with the true Da.
   while (n < n_stop && !time_expired()) {
     ++n;
+    telemetry::set_stage("phase2", n);
     const double d_min = min_latency(graph, device, n);
     if (d_min >= result.achieved_latency) {
       // Even a perfect schedule at N partitions pays more reconfiguration
@@ -270,6 +276,7 @@ RefinePartitionsResult refine_partitions_bound(
       result.best = std::move(reduced.best);
       result.achieved_latency = reduced.achieved_latency;
       result.best_num_partitions = n;
+      telemetry::publish_best_latency(result.achieved_latency, n);
     }
   }
   spec.reset();

@@ -22,23 +22,25 @@ const char* to_string(IterationOutcome outcome) {
 
 void write_solver_stats(report::ReportWriter& w,
                         const milp::SolverStats& stats) {
-  w.begin_object("solver_stats");
-  w.field("nodes_explored", stats.nodes_explored);
-  w.field("nodes_pruned_by_bound", stats.nodes_pruned_by_bound);
-  w.field("nodes_pruned_infeasible", stats.nodes_pruned_infeasible);
-  w.field("incumbent_updates", stats.incumbent_updates);
-  w.field("max_depth", stats.max_depth);
-  w.field("propagated_constraints", stats.propagated_constraints);
-  w.field("bounds_tightened", stats.bounds_tightened);
-  w.field("vars_fixed", stats.vars_fixed);
-  w.field("conflicts", stats.conflicts);
-  w.field("simplex_calls", stats.simplex_calls);
-  w.field("simplex_iterations", stats.simplex_iterations);
-  w.field("numerical_failures", stats.numerical_failures);
-  w.field("lp_recoveries", stats.lp_recoveries);
-  w.field("checker_rejections", stats.checker_rejections);
-  w.field("allocation_failures", stats.allocation_failures);
-  w.end_object();
+  // Delegates to the canonical renderer so the report, the telemetry stream
+  // and the CLI agree on the schema (including the convergence timeline).
+  w.raw_field("solver_stats", stats.to_json());
+}
+
+void write_convergence(report::ReportWriter& w,
+                       const std::vector<milp::ConvergenceEvent>& events) {
+  w.begin_array("convergence");
+  for (const milp::ConvergenceEvent& event : events) {
+    w.begin_object();
+    w.field("t_sec", event.t_sec);
+    w.field("objective", event.objective);
+    w.field("nodes", event.nodes);
+    w.field("kind", event.kind == milp::ConvergenceEvent::Kind::kIncumbent
+                        ? "incumbent"
+                        : "bound");
+    w.end_object();
+  }
+  w.end_array();
 }
 
 void write_stages(report::ReportWriter& w,
@@ -67,6 +69,8 @@ void write_trace(report::ReportWriter& w, const Trace& trace) {
     w.field("achieved_latency_ns", row.achieved_latency);
     w.field("seconds", row.seconds);
     w.field("nodes", row.nodes);
+    // Per-(N, iteration) convergence timeline of the probe's solve.
+    write_convergence(w, row.stats.convergence);
     w.end_object();
   }
   w.end_array();

@@ -21,6 +21,7 @@
 #include "support/failpoint.hpp"
 #include "support/logging.hpp"
 #include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 namespace sparcs::milp {
 namespace {
@@ -40,6 +41,9 @@ struct Subproblem {
   Rank rank;
   std::vector<double> lb, ub;
   VarId seed = -1;  ///< -1: root subproblem (full propagation)
+  /// Telemetry search-tree id of the donor node (-1: no recording / root),
+  /// so donated subtrees attach to their real parent in the dump.
+  std::int64_t tree_parent = -1;
 };
 
 /// Shared state of one multi-threaded solve: the rank-ordered subproblem
@@ -53,7 +57,8 @@ class ParallelContext {
         callbacks_(callbacks),
         first_feasible_mode_(first_feasible_mode),
         objective_flipped_(objective_flipped),
-        hungry_below_(2 * num_workers) {}
+        hungry_below_(2 * num_workers),
+        live_(callbacks.live) {}
 
   Stopwatch stopwatch;
 
@@ -108,6 +113,18 @@ class ParallelContext {
   /// True when workers should donate untried branches into the pool.
   [[nodiscard]] bool hungry() const {
     return pool_size_.load(std::memory_order_relaxed) < hungry_below_;
+  }
+
+  /// Open-subproblem estimate for live telemetry (pool only; per-worker DFS
+  /// stacks are not counted — this is a progress indicator, not an exact
+  /// frontier size).
+  [[nodiscard]] std::int64_t open_estimate() const {
+    return pool_size_.load(std::memory_order_relaxed);
+  }
+
+  /// Merged incumbent timeline of this solve (call after workers joined).
+  [[nodiscard]] std::vector<ConvergenceEvent>&& take_convergence() {
+    return std::move(convergence_);
   }
 
   // ---- Limits -----------------------------------------------------------
@@ -194,6 +211,7 @@ class ParallelContext {
       pool_.erase(pool_.upper_bound(candidate_rank_), pool_.end());
       pool_size_.store(static_cast<int>(pool_.size()),
                        std::memory_order_relaxed);
+      record_convergence_locked(obj);
       if (!callbacks_.on_incumbent) return true;
       event.objective = objective_flipped_ ? -obj : obj;
       event.values = &candidate_values_;
@@ -231,6 +249,7 @@ class ParallelContext {
       candidate_rank_ = std::move(rank);
       candidate_values_ = std::move(values);
       best_obj_.store(obj, std::memory_order_relaxed);
+      record_convergence_locked(obj);
       if (!callbacks_.on_incumbent) return true;
       event.objective = objective_flipped_ ? -obj : obj;
       event.values = &candidate_values_;
@@ -256,11 +275,26 @@ class ParallelContext {
   }
 
  private:
+  /// Appends an accepted incumbent (minimized-space objective `obj`) to the
+  /// solve's timeline and publishes it to the live telemetry slot. Caller
+  /// holds mu_, which keeps the timeline time-ordered across workers.
+  void record_convergence_locked(double obj) {
+    const double caller_obj = objective_flipped_ ? -obj : obj;
+    convergence_.push_back({stopwatch.seconds(), caller_obj, total_nodes(),
+                            ConvergenceEvent::Kind::kIncumbent});
+    if (live_ != nullptr) {
+      live_->incumbent.store(caller_obj, std::memory_order_relaxed);
+      live_->has_incumbent.store(true, std::memory_order_relaxed);
+      live_->incumbent_updates.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   const SolverParams& params_;
   const BnbCallbacks& callbacks_;
   const bool first_feasible_mode_;
   const bool objective_flipped_;
   const int hungry_below_;
+  telemetry::LiveSolve* const live_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -282,6 +316,7 @@ class ParallelContext {
   double incumbent_obj_ = kInfinity;
   std::atomic<double> best_obj_{kInfinity};
   std::atomic<std::uint64_t> candidate_version_{0};
+  std::vector<ConvergenceEvent> convergence_;  ///< under mu_
 };
 
 /// One open decision in the DFS stack.
@@ -304,7 +339,9 @@ class BnbSearch {
         domains_(compiled_),
         propagator_(compiled_, params.feasibility_tol,
                     params.max_propagation_rounds),
-        model_(model) {}
+        model_(model),
+        live_(callbacks.live),
+        tree_on_(telemetry::tree_active()) {}
 
   /// Single-threaded entry point (ctx == nullptr).
   MilpSolution run();
@@ -343,6 +380,13 @@ class BnbSearch {
   void search_loop(MilpSolution& result);
   void donate_siblings(Frame& frame);
   void sync_shared_incumbent();
+  /// Pushes per-worker node/LP-iteration deltas and the open-node count into
+  /// the live telemetry slot (called every kLivePublishPeriod nodes).
+  void publish_live();
+  /// Solves one root LP with the true objective and publishes the resulting
+  /// dual bound to the live slot and the convergence timeline. Only runs
+  /// while a live telemetry slot is attached (costs one extra LP).
+  void publish_root_bound();
   bool position_pruned();
   bool first_feasible_mode() const {
     return params_.stop_at_first_feasible ||
@@ -378,6 +422,27 @@ class BnbSearch {
   /// True when the search stopped because allocation failures exhausted the
   /// retry budget (distinguishes this stop_ from a record_incumbent stop).
   bool alloc_stop_ = false;
+
+  // -- telemetry (all inert unless live_ / tree_on_ are set) ---------------
+  telemetry::LiveSolve* live_ = nullptr;  ///< live slot; null = off
+  const bool tree_on_;                    ///< cached once per search
+  /// Search-tree parent of this (sub)tree's base node.
+  std::int64_t tree_parent_ = -1;
+  /// Id of the node whose frame is currently being built (donation parent).
+  std::int64_t current_node_id_ = -1;
+  /// Owner node id of each open frame; parallel to stack_ while tree_on_.
+  std::vector<std::int64_t> frame_node_ids_;
+  /// Branch applied to enter the node about to descend (-1: root).
+  VarId last_branch_var_ = -1;
+  double last_branch_lo_ = 0.0;
+  double last_branch_hi_ = 0.0;
+  /// High-water marks of what was already pushed into live_ (deltas only,
+  /// so per-worker counters aggregate correctly across threads).
+  std::int64_t live_pub_nodes_ = 0;
+  std::int64_t live_pub_lp_iters_ = 0;
+
+  /// Live-slot publish period in nodes (power of two, used as a mask).
+  static constexpr std::int64_t kLivePublishPeriod = 256;
 
   /// Allocation failures tolerated (with node rollback) before giving up.
   static constexpr std::int64_t kMaxAllocationFailures = 16;
@@ -561,6 +626,57 @@ void BnbSearch::mark_incomplete() {
   if (ctx_ != nullptr) ctx_->flag_incomplete();
 }
 
+void BnbSearch::publish_live() {
+  if (live_ == nullptr) return;
+  live_->nodes.fetch_add(nodes_ - live_pub_nodes_, std::memory_order_relaxed);
+  live_pub_nodes_ = nodes_;
+  live_->lp_iterations.fetch_add(
+      stats_.simplex_iterations - live_pub_lp_iters_,
+      std::memory_order_relaxed);
+  live_pub_lp_iters_ = stats_.simplex_iterations;
+  live_->open_nodes.store(
+      ctx_ != nullptr ? ctx_->open_estimate()
+                      : static_cast<std::int64_t>(stack_.size()),
+      std::memory_order_relaxed);
+}
+
+void BnbSearch::publish_root_bound() {
+  if (live_ == nullptr || !params_.use_lp_bounding ||
+      compiled_.objective_terms().empty()) {
+    return;
+  }
+  LpProblem lp;
+  const int n = compiled_.num_vars();
+  for (VarId v = 0; v < n; ++v) {
+    lp.add_var(0.0, domains_.lb(v), domains_.ub(v));
+  }
+  for (const LinTerm& t : compiled_.objective_terms()) {
+    lp.obj[static_cast<std::size_t>(t.var)] += t.coef;
+  }
+  for (int c = 0; c < compiled_.num_constraints(); ++c) {
+    const CompiledConstraint& cc = compiled_.constraint(c);
+    if (!std::isfinite(cc.rhs)) continue;  // inactive cutoff
+    const double* coefs = compiled_.coefs(cc);
+    const VarId* vars = compiled_.vars(cc);
+    std::vector<LinTerm> terms;
+    terms.reserve(static_cast<std::size_t>(compiled_.size(cc)));
+    for (int k = 0; k < compiled_.size(cc); ++k) {
+      terms.push_back({vars[k], coefs[k]});
+    }
+    lp.add_row(std::move(terms), cc.sense, cc.rhs);
+  }
+  const LpResult lp_result = solve_lp(lp, node_lp_params());
+  absorb_lp(lp_result);
+  if (lp_result.status != LpStatus::kOptimal) return;
+  const double caller_bound = compiled_.objective_flipped()
+                                  ? -lp_result.objective
+                                  : lp_result.objective;
+  live_->best_bound.store(caller_bound, std::memory_order_relaxed);
+  live_->has_bound.store(true, std::memory_order_relaxed);
+  stats_.convergence.push_back({stopwatch_.seconds(), caller_bound, nodes_,
+                                ConvergenceEvent::Kind::kBound});
+}
+
 void BnbSearch::export_stats(MilpSolution& result) {
   stats_.nodes_explored = nodes_;
   stats_.propagated_constraints = prop_stats_.constraints_processed;
@@ -587,6 +703,15 @@ void BnbSearch::record_incumbent(std::vector<double> values,
   incumbent_obj_ = obj;
   have_incumbent_ = true;
   ++stats_.incumbent_updates;
+  const double caller_obj =
+      compiled_.objective_flipped() ? -incumbent_obj_ : incumbent_obj_;
+  stats_.convergence.push_back({stopwatch_.seconds(), caller_obj, nodes_,
+                                ConvergenceEvent::Kind::kIncumbent});
+  if (live_ != nullptr) {
+    live_->incumbent.store(caller_obj, std::memory_order_relaxed);
+    live_->has_incumbent.store(true, std::memory_order_relaxed);
+    live_->incumbent_updates.fetch_add(1, std::memory_order_relaxed);
+  }
   if (compiled_.has_cutoff_row()) {
     compiled_.set_cutoff(incumbent_obj_ - params_.objective_improvement);
   }
@@ -740,6 +865,7 @@ void BnbSearch::donate_siblings(Frame& frame) {
     node.lb[var] = std::max(node.lb[var], blo);
     node.ub[var] = std::min(node.ub[var], bhi);
     node.seed = frame.var;
+    node.tree_parent = current_node_id_;
     ctx_->push(std::move(node));
   }
   frame.branches.resize(1);
@@ -762,11 +888,30 @@ void BnbSearch::search_loop(MilpSolution& result) {
         sync_shared_incumbent();
         if (position_pruned()) break;
       }
+      if (live_ != nullptr && (nodes_ % kLivePublishPeriod) == 0) {
+        publish_live();
+      }
       if (params_.log_every_nodes > 0 &&
           nodes_ % params_.log_every_nodes == 0) {
         SPARCS_ILOG << "nodes=" << nodes_ << " depth=" << stack_.size()
                     << " incumbent="
                     << (have_incumbent_ ? incumbent_obj_ : kInfinity);
+      }
+      // Search-tree record of this node: classified at whichever exit the
+      // node takes below; interior nodes become the parent of their frame's
+      // branches.
+      telemetry::TreeNode tnode;
+      bool tnode_recorded = false;
+      if (tree_on_) {
+        tnode.id = telemetry::tree_next_id();
+        tnode.parent =
+            frame_node_ids_.empty() ? tree_parent_ : frame_node_ids_.back();
+        tnode.depth =
+            static_cast<std::int32_t>(stack_.size() + base_rank_.size());
+        tnode.branch_var = last_branch_var_;
+        tnode.branch_lb = last_branch_lo_;
+        tnode.branch_ub = last_branch_hi_;
+        current_node_id_ = tnode.id;
       }
       // Node body under an allocation guard: on bad_alloc the node is rolled
       // back (its subtree dropped, the search marked incomplete) and the DFS
@@ -775,12 +920,24 @@ void BnbSearch::search_loop(MilpSolution& result) {
         if (SPARCS_FAILPOINT("milp.bnb.alloc_fail")) throw std::bad_alloc();
         const VarId v = pick_branch_var();
         if (v < 0) {
-          if (handle_leaf(result)) break;
+          const std::int64_t rejections_before = stats_.checker_rejections;
+          const bool stop_now = handle_leaf(result);
+          if (tree_on_) {
+            tnode.kind = stats_.checker_rejections > rejections_before
+                             ? telemetry::NodeKind::kRejected
+                             : telemetry::NodeKind::kIntegral;
+            telemetry::tree_record(tnode);
+          }
+          if (stop_now) break;
           descend = false;  // backtrack to explore alternatives
           continue;
         }
         if (lp_bounding && !lp_prune()) {
           ++stats_.nodes_pruned_by_bound;
+          if (tree_on_) {
+            tnode.kind = telemetry::NodeKind::kPrunedBound;
+            telemetry::tree_record(tnode);
+          }
           descend = false;
           continue;
         }
@@ -791,6 +948,15 @@ void BnbSearch::search_loop(MilpSolution& result) {
         if (ctx_ != nullptr && frame.branches.size() > 1 && ctx_->hungry()) {
           donate_siblings(frame);
         }
+        if (tree_on_) {
+          // Record (and register as owner) before the stack pushes: a push
+          // failure below leaves a childless "branched" record, which the
+          // dump-time fixup relabels as "budget".
+          tnode.kind = telemetry::NodeKind::kBranched;
+          telemetry::tree_record(tnode);
+          tnode_recorded = true;
+          frame_node_ids_.push_back(tnode.id);
+        }
         stack_.push_back(std::move(frame));
         path_.push_back(-1);
       } catch (const std::bad_alloc&) {
@@ -799,6 +965,17 @@ void BnbSearch::search_loop(MilpSolution& result) {
           // restore the stack/path pairing.
           domains_.rollback(stack_.back().trail_mark);
           stack_.pop_back();
+        }
+        if (tree_on_) {
+          // Re-pair the owner-id vector with the frame stack, then record
+          // the dropped node with its real reason (unless already recorded).
+          while (frame_node_ids_.size() > stack_.size()) {
+            frame_node_ids_.pop_back();
+          }
+          if (!tnode_recorded) {
+            tnode.kind = telemetry::NodeKind::kBudget;
+            telemetry::tree_record(tnode);
+          }
         }
         ++stats_.allocation_failures;
         mark_incomplete();
@@ -826,6 +1003,7 @@ void BnbSearch::search_loop(MilpSolution& result) {
     if (top.next >= top.branches.size()) {
       stack_.pop_back();
       path_.pop_back();
+      if (tree_on_ && !frame_node_ids_.empty()) frame_node_ids_.pop_back();
       descend = false;
       continue;
     }
@@ -842,9 +1020,26 @@ void BnbSearch::search_loop(MilpSolution& result) {
     if (!ok) {
       // Conflict: stay on this frame and try its next branch.
       ++stats_.nodes_pruned_infeasible;
+      if (tree_on_) {
+        // The refuted branch never descends, so its record is created here.
+        telemetry::TreeNode child;
+        child.id = telemetry::tree_next_id();
+        child.parent =
+            frame_node_ids_.empty() ? tree_parent_ : frame_node_ids_.back();
+        child.depth =
+            static_cast<std::int32_t>(stack_.size() + base_rank_.size());
+        child.branch_var = v;
+        child.branch_lb = blo;
+        child.branch_ub = bhi;
+        child.kind = telemetry::NodeKind::kPrunedInfeasible;
+        telemetry::tree_record(child);
+      }
       descend = false;
       continue;
     }
+    last_branch_var_ = v;
+    last_branch_lo_ = blo;
+    last_branch_hi_ = bhi;
     descend = true;
   }
 }
@@ -863,7 +1058,9 @@ MilpSolution BnbSearch::run() {
     return result;
   }
 
+  publish_root_bound();
   search_loop(result);
+  publish_live();  // final flush of node/LP deltas
 
   export_stats(result);
   result.seconds = stopwatch_.seconds();
@@ -910,6 +1107,19 @@ void BnbSearch::run_worker() {
     stop_ = false;
     seen_candidate_version_ = ~std::uint64_t{0};
     have_candidate_copy_ = false;
+    if (tree_on_) {
+      frame_node_ids_.clear();
+      tree_parent_ = node.tree_parent;
+      current_node_id_ = node.tree_parent;
+      last_branch_var_ = node.seed;
+      if (node.seed >= 0) {
+        last_branch_lo_ = node.lb[static_cast<std::size_t>(node.seed)];
+        last_branch_hi_ = node.ub[static_cast<std::size_t>(node.seed)];
+      } else {
+        last_branch_lo_ = 0.0;
+        last_branch_hi_ = 0.0;
+      }
+    }
     sync_shared_incumbent();
 
     bool ok = true;
@@ -926,14 +1136,29 @@ void BnbSearch::run_worker() {
       // Root subproblem: its fixpoint is the solver's presolve.
       stats_.presolve_bounds_tightened = prop_stats_.bounds_tightened;
       stats_.presolve_vars_fixed = prop_stats_.vars_fixed;
+      if (ok) publish_root_bound();
     }
     if (ok) {
       search_loop(sink);
     } else if (node.seed >= 0) {
       ++stats_.nodes_pruned_infeasible;
+      if (tree_on_) {
+        // The donated branch box refuted on arrival: record it so the
+        // donor's subtree keeps a complete child list in the dump.
+        telemetry::TreeNode child;
+        child.id = telemetry::tree_next_id();
+        child.parent = tree_parent_;
+        child.depth = static_cast<std::int32_t>(base_rank_.size());
+        child.branch_var = node.seed;
+        child.branch_lb = node.lb[static_cast<std::size_t>(node.seed)];
+        child.branch_ub = node.ub[static_cast<std::size_t>(node.seed)];
+        child.kind = telemetry::NodeKind::kPrunedInfeasible;
+        telemetry::tree_record(child);
+      }
     }
     ctx_->release();
   }
+  publish_live();  // final flush of this worker's deltas
   stats_.nodes_explored = nodes_;
   stats_.propagated_constraints = prop_stats_.constraints_processed;
   stats_.bounds_tightened = prop_stats_.bounds_tightened;
@@ -983,6 +1208,9 @@ MilpSolution solve_parallel(const Model& model, const SolverParams& params,
   workers.reserve(static_cast<std::size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
     workers.emplace_back([&, i] {
+      // Workers inherit the solve's correlation id so their log lines and
+      // spans join the session's telemetry stream.
+      telemetry::CorrelationScope corr(callbacks.correlation);
       try {
         BnbSearch search(model, params, callbacks, &ctx);
         search.run_worker();
@@ -1000,6 +1228,17 @@ MilpSolution solve_parallel(const Model& model, const SolverParams& params,
 
   MilpSolution result;
   for (const SolverStats& stats : worker_stats) result.stats.merge(stats);
+  {
+    // Incumbent acceptances were recorded centrally (under the context
+    // lock); bound events live in the worker stats merged above.
+    std::vector<ConvergenceEvent> accepted = ctx.take_convergence();
+    auto& timeline = result.stats.convergence;
+    timeline.insert(timeline.end(), accepted.begin(), accepted.end());
+    std::stable_sort(timeline.begin(), timeline.end(),
+                     [](const ConvergenceEvent& a, const ConvergenceEvent& b) {
+                       return a.t_sec < b.t_sec;
+                     });
+  }
   result.nodes_explored = result.stats.nodes_explored;
   result.propagations = result.stats.propagated_constraints;
   result.seconds = ctx.stopwatch.seconds();

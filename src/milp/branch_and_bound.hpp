@@ -17,8 +17,14 @@
 // which makes the returned solution identical to the single-threaded one.
 #pragma once
 
+#include <cstdint>
+
 #include "milp/model.hpp"
 #include "milp/types.hpp"
+
+namespace sparcs::telemetry {
+struct LiveSolve;
+}  // namespace sparcs::telemetry
 
 namespace sparcs::milp {
 
@@ -29,6 +35,12 @@ struct BnbCallbacks {
   CancelToken session_cancel;
   /// Invoked on every accepted incumbent; may be empty.
   IncumbentCallback on_incumbent;
+  /// Live telemetry slot of the enclosing solve (owned by the Solver
+  /// session's telemetry::SolveScope); null when telemetry is inactive.
+  telemetry::LiveSolve* live = nullptr;
+  /// Correlation id of the enclosing solve (0 when telemetry is inactive);
+  /// worker threads adopt it so their spans and log lines join the solve.
+  std::uint64_t correlation = 0;
 };
 
 /// Solves `model` with propagation-based branch & bound.

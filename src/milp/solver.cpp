@@ -5,6 +5,7 @@
 #include "milp/branch_and_bound.hpp"
 #include "support/metrics.hpp"
 #include "support/span.hpp"
+#include "support/telemetry.hpp"
 
 namespace sparcs::milp {
 namespace {
@@ -75,15 +76,23 @@ Solver::Solver(const Model& model, SolverParams params)
       cancel_(CancelToken::create()) {}
 
 MilpSolution Solver::solve() {
+  // Registers the solve in the live telemetry table (no-op while telemetry
+  // is inactive) and pins its correlation id to this thread.
+  telemetry::SolveScope live("milp::solve");
   // The span keeps the historical "milp::solve" name so trace consumers see
   // an unchanged event stream across the free-function -> session migration.
   trace::Span span("milp::solve");
   span.arg("vars", static_cast<std::int64_t>(model_.num_vars()));
   span.arg("constraints",
            static_cast<std::int64_t>(model_.num_constraints()));
+  if (live.id() != 0) {
+    span.arg("corr", static_cast<std::int64_t>(live.id()));
+  }
   BnbCallbacks callbacks;
   callbacks.session_cancel = cancel_;
   callbacks.on_incumbent = on_incumbent_;
+  callbacks.live = live.slot();
+  callbacks.correlation = live.id();
   MilpSolution solution = solve_branch_and_bound(model_, params_, callbacks);
   span.arg("status", to_string(solution.status));
   span.arg("nodes", solution.stats.nodes_explored);

@@ -1,0 +1,49 @@
+// JSON rendering of SolverStats, including the convergence timeline. Lives
+// in its own translation unit so types.hpp stays header-only apart from it
+// and the support/report_writer dependency does not leak into every
+// include of the solver types.
+#include "milp/types.hpp"
+
+#include "support/report_writer.hpp"
+
+namespace sparcs::milp {
+
+std::string SolverStats::to_json() const {
+  report::ReportWriter w;
+  w.begin_object();
+  w.field("nodes_explored", nodes_explored);
+  w.field("nodes_pruned_by_bound", nodes_pruned_by_bound);
+  w.field("nodes_pruned_infeasible", nodes_pruned_infeasible);
+  w.field("incumbent_updates", incumbent_updates);
+  w.field("max_depth", max_depth);
+  w.field("propagated_constraints", propagated_constraints);
+  w.field("bounds_tightened", bounds_tightened);
+  w.field("vars_fixed", vars_fixed);
+  w.field("conflicts", conflicts);
+  w.field("presolve_bounds_tightened", presolve_bounds_tightened);
+  w.field("presolve_vars_fixed", presolve_vars_fixed);
+  w.field("simplex_calls", simplex_calls);
+  w.field("simplex_iterations", simplex_iterations);
+  w.field("simplex_pivots", simplex_pivots);
+  w.field("simplex_refactorizations", simplex_refactorizations);
+  w.field("numerical_failures", numerical_failures);
+  w.field("lp_recoveries", lp_recoveries);
+  w.field("checker_rejections", checker_rejections);
+  w.field("allocation_failures", allocation_failures);
+  w.begin_array("convergence");
+  for (const ConvergenceEvent& event : convergence) {
+    w.begin_object();
+    w.field("t_sec", event.t_sec);
+    w.field("objective", event.objective);
+    w.field("nodes", event.nodes);
+    w.field("kind", event.kind == ConvergenceEvent::Kind::kIncumbent
+                        ? "incumbent"
+                        : "bound");
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace sparcs::milp

@@ -9,6 +9,7 @@
 // mode for the small reference experiments; both are provided.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -151,6 +152,17 @@ struct SolverParams {
   CancelToken cancel;
 };
 
+/// One timestamped event on a solve's convergence timeline: an accepted
+/// incumbent or a tightened global bound, in caller convention (maximization
+/// objectives are reported as the caller sees them).
+struct ConvergenceEvent {
+  enum class Kind : std::uint8_t { kIncumbent, kBound };
+  double t_sec = 0.0;      ///< since the solve started
+  double objective = 0.0;  ///< incumbent objective or bound value
+  std::int64_t nodes = 0;  ///< nodes explored when the event fired
+  Kind kind = Kind::kIncumbent;
+};
+
 /// Per-layer search statistics of one MILP solve, filled by the simplex,
 /// propagation and branch & bound layers and returned in MilpSolution. All
 /// fields are plain accumulators (no atomics): each worker thread fills its
@@ -186,7 +198,18 @@ struct SolverStats {
   std::int64_t checker_rejections = 0;   ///< incumbents rejected by validation
   std::int64_t allocation_failures = 0;  ///< nodes rolled back on bad_alloc
 
-  /// Accumulates another solve's stats (sums; max for max_depth).
+  /// Incumbent/bound improvement timeline, time-ordered. Serial solves
+  /// append directly; parallel solves record under the shared incumbent lock
+  /// so the timeline stays time-ordered across workers.
+  std::vector<ConvergenceEvent> convergence;
+
+  /// Renders every accumulator plus the convergence timeline as one JSON
+  /// object (implemented in stats_json.cpp; shared by the CLI report and the
+  /// telemetry stream).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Accumulates another solve's stats (sums; max for max_depth; timelines
+  /// concatenate and re-sort by timestamp).
   void merge(const SolverStats& other) {
     nodes_explored += other.nodes_explored;
     nodes_pruned_by_bound += other.nodes_pruned_by_bound;
@@ -207,6 +230,12 @@ struct SolverStats {
     lp_recoveries += other.lp_recoveries;
     checker_rejections += other.checker_rejections;
     allocation_failures += other.allocation_failures;
+    convergence.insert(convergence.end(), other.convergence.begin(),
+                       other.convergence.end());
+    std::stable_sort(convergence.begin(), convergence.end(),
+                     [](const ConvergenceEvent& a, const ConvergenceEvent& b) {
+                       return a.t_sec < b.t_sec;
+                     });
   }
 };
 

@@ -1,13 +1,25 @@
 #include "support/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <ostream>
 #include <string_view>
+
+#include "support/report_writer.hpp"
+#include "support/telemetry.hpp"
 
 namespace sparcs {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+// The JSON sink is cold-path state: the pointer is only consulted after a
+// statement passed the level gate (so the statement already pays for an
+// fputs), and reads share the mutex that serializes sink writes.
+std::mutex g_json_sink_mu;
+std::ostream* g_json_sink = nullptr;
 
 constexpr std::string_view level_tag(LogLevel level) {
   switch (level) {
@@ -25,10 +37,36 @@ constexpr std::string_view level_tag(LogLevel level) {
   return "?";
 }
 
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      break;
+  }
+  return "unknown";
+}
+
 /// Strips the directory part so log lines stay short.
 std::string_view basename_of(std::string_view path) {
   const auto pos = path.find_last_of('/');
   return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+/// Seconds since the first log statement of the process (steady clock; both
+/// this and telemetry's t_sec anchor at first use, which in a CLI run lands
+/// within microseconds of each other).
+double elapsed_seconds() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       anchor)
+      .count();
 }
 
 }  // namespace
@@ -37,22 +75,46 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
+void set_json_log_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_json_sink_mu);
+  g_json_sink = sink;
+}
+
 namespace detail {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
-  if (enabled_) {
-    stream_ << "[" << level_tag(level) << " " << basename_of(file) << ":"
-            << line << "] ";
-  }
-}
+    : enabled_(static_cast<int>(level) >= g_level.load()),
+      level_(level),
+      file_(file),
+      line_(line) {}
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
+  if (!enabled_) return;
+  const std::string_view file = basename_of(file_);
+  const std::string message = stream_.str();
+  std::string text;
+  text.reserve(message.size() + 32);
+  text.append("[").append(level_tag(level_)).append(" ");
+  text.append(file).append(":").append(std::to_string(line_)).append("] ");
+  text.append(message).append("\n");
+  std::fputs(text.c_str(), stderr);
+  {
+    std::lock_guard<std::mutex> lock(g_json_sink_mu);
+    if (g_json_sink != nullptr) {
+      report::ReportWriter w;
+      w.begin_object();
+      w.field("t_sec", elapsed_seconds());
+      w.field("level", std::string(level_name(level_)));
+      w.field("file", std::string(file));
+      w.field("line", static_cast<std::int64_t>(line_));
+      const std::uint64_t corr = telemetry::current_correlation_id();
+      if (corr != 0) w.field("corr", static_cast<std::int64_t>(corr));
+      w.field("msg", message);
+      w.end_object();
+      *g_json_sink << w.str() << '\n';
+      g_json_sink->flush();
+    }
   }
-  (void)level_;
 }
 
 }  // namespace detail

@@ -1,9 +1,13 @@
 // Minimal leveled logger used across SPARCS-TP.
 //
 // Logging is stream-based and writes to stderr; the level is a process-wide
-// setting so benchmarks and tests can silence solver chatter.
+// setting so benchmarks and tests can silence solver chatter. An optional
+// JSON sink mirrors every emitted line as a single-line JSON object carrying
+// the active telemetry correlation id, which is what lets a log line be
+// joined with trace spans and telemetry samples post-hoc.
 #pragma once
 
+#include <iosfwd>
 #include <sstream>
 #include <string>
 
@@ -23,9 +27,21 @@ LogLevel log_level();
 /// Sets the process-wide log level.
 void set_log_level(LogLevel level);
 
+/// Installs (or, with nullptr, removes) a stream that receives every emitted
+/// log statement as one JSON object per line:
+///   {"t_sec":..., "level":"info", "file":"solver.cpp", "line":81,
+///    "corr":42, "msg":"..."}
+/// The `corr` field is present only when a telemetry correlation id is bound
+/// to the emitting thread. Writes are serialized under an internal mutex; the
+/// caller keeps ownership of the stream and must remove the sink before
+/// destroying it. The human-readable stderr line is unaffected.
+void set_json_log_sink(std::ostream* sink);
+
 namespace detail {
 
-/// Collects one log statement and emits it on destruction.
+/// Collects one log statement and emits it on destruction. The message body
+/// is accumulated separately from the "[T file:line]" prefix so the JSON
+/// sink can emit the structured fields without re-parsing the text line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -42,6 +58,8 @@ class LogMessage {
  private:
   bool enabled_;
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -64,6 +64,7 @@ void Timer::reset() {
 std::string MetricsSnapshot::to_json() const {
   report::ReportWriter w;
   w.begin_object();
+  w.field("epoch", static_cast<std::int64_t>(epoch));
   w.begin_object("counters");
   for (const auto& counter : counters) {
     w.field(counter.name, counter.value);
@@ -133,6 +134,7 @@ Timer& Registry::timer(const std::string& name) {
 MetricsSnapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
+  snap.epoch = epoch_.load(std::memory_order_relaxed);
   snap.counters.reserve(counters_.size());
   for (const auto& entry : counters_) {
     snap.counters.push_back({entry.name, entry.metric->value()});
@@ -154,6 +156,10 @@ MetricsSnapshot Registry::snapshot() const {
 
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Bump the epoch first: a consumer diffing a pre-reset snapshot against a
+  // post-reset one sees a changed epoch no matter how the stores interleave
+  // with its second snapshot (which serializes on mu_ anyway).
+  epoch_.fetch_add(1, std::memory_order_relaxed);
   for (const auto& entry : counters_) entry.metric->reset();
   for (const auto& entry : gauges_) entry.metric->reset();
   for (const auto& entry : timers_) entry.metric->reset();

@@ -5,6 +5,23 @@
 // paths unconditionally. Handles returned by the registry are stable for the
 // process lifetime, so call sites may cache them in function-local statics.
 // Snapshots render to JSON for the CLI's --metrics-json export.
+//
+// Snapshot-consistency contract
+// -----------------------------
+// The hot mutation paths (Counter::add, Gauge::set, Timer::record) stay
+// lock-free-or-local: concurrent with them,
+//  * Registry::snapshot() and Registry::reset() serialize against each other
+//    under the registry mutex, so a snapshot never observes a half-applied
+//    registry-wide reset (some metrics zeroed, others not).
+//  * Each snapshot carries the registry's reset epoch. Consumers computing
+//    deltas between two snapshots (the telemetry sampler) must discard the
+//    delta when the epoch changed in between — the counters restarted.
+//  * Per-metric reset() on a cached handle is an atomic exchange (Counter,
+//    Gauge) or mutex-guarded (Timer): safe concurrent with add()/record(),
+//    but it bypasses the registry epoch, so it is reserved for tests and
+//    single-threaded phases. Production code resets via Registry::reset().
+// Timer::record/stats/reset share the per-timer mutex, so Stats is always
+// internally consistent (count matches the bucket sum).
 #pragma once
 
 #include <atomic>
@@ -31,7 +48,10 @@ class Counter {
   [[nodiscard]] std::int64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  /// Atomic exchange, so a concurrent add() either lands before the reset
+  /// (and is zeroed with everything else) or fully after (and survives) —
+  /// never torn. See the snapshot-consistency contract above.
+  void reset() { value_.exchange(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::int64_t> value_{0};
@@ -46,7 +66,7 @@ class Gauge {
   [[nodiscard]] double value() const {
     return value_.load(std::memory_order_relaxed);
   }
-  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  void reset() { value_.exchange(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
@@ -98,6 +118,9 @@ struct MetricsSnapshot {
   std::vector<CounterEntry> counters;
   std::vector<GaugeEntry> gauges;
   std::vector<TimerEntry> timers;
+  /// Registry reset epoch at snapshot time: deltas between two snapshots are
+  /// only meaningful while their epochs match.
+  std::uint64_t epoch = 0;
 
   /// Renders {"counters":{...},"gauges":{...},"timers":{...}}. Timers render
   /// count/sum/min/max/mean in seconds plus the non-empty log2(us) buckets.
@@ -112,11 +135,19 @@ class Registry {
   Gauge& gauge(const std::string& name);
   Timer& timer(const std::string& name);
 
-  /// Copies every metric, sorted by name within each kind.
+  /// Copies every metric, sorted by name within each kind. Serialized
+  /// against reset() under the registry mutex, so the copy is never a mix of
+  /// pre- and post-reset values; the snapshot records the current epoch.
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
-  /// Zeroes every registered metric (registrations and handles survive).
+  /// Zeroes every registered metric (registrations and handles survive) and
+  /// advances the reset epoch so in-flight snapshot deltas invalidate.
   void reset();
+
+  /// Number of reset() calls so far.
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
 
  private:
   template <typename T>
@@ -125,6 +156,7 @@ class Registry {
     std::unique_ptr<T> metric;
   };
   mutable std::mutex mu_;
+  std::atomic<std::uint64_t> epoch_{0};
   std::vector<Named<Counter>> counters_;
   std::vector<Named<Gauge>> gauges_;
   std::vector<Named<Timer>> timers_;

@@ -127,6 +127,11 @@ void ReportWriter::field(const std::string& key, bool value) {
   os_ << (value ? "true" : "false");
 }
 
+void ReportWriter::raw_field(const std::string& key, const std::string& json) {
+  key_prefix(key);
+  os_ << json;
+}
+
 std::string ReportWriter::str() const {
   SPARCS_CHECK(wrote_value_.empty(), "unbalanced begin/end in report");
   return os_.str();

@@ -41,6 +41,12 @@ class ReportWriter {
   void field(const std::string& key, int value);
   void field(const std::string& key, bool value);
 
+  /// Embeds `json` — an already-rendered JSON value — verbatim under `key`.
+  /// The caller vouches for its validity (used to splice sub-documents built
+  /// by another ReportWriter, e.g. a metrics snapshot into a telemetry
+  /// record, without reparsing).
+  void raw_field(const std::string& key, const std::string& json);
+
   /// The document so far; call after the root object was ended.
   [[nodiscard]] std::string str() const;
 

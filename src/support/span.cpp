@@ -78,6 +78,12 @@ std::size_t num_events() {
 
 void write_chrome_json(std::ostream& os) {
   std::lock_guard<std::mutex> lock(g_mu);
+  if (events().empty()) {
+    // Literal empty array: downstream JSON linters (and the CI artifact
+    // check) expect a parseable document even when tracing recorded nothing.
+    os << "[]\n";
+    return;
+  }
   os << "[";
   bool first = true;
   for (const Event& e : events()) {

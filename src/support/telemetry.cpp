@@ -1,0 +1,580 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "support/metrics.hpp"
+#include "support/report_writer.hpp"
+
+namespace sparcs::telemetry {
+namespace {
+
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_next_correlation{1};
+thread_local std::uint64_t t_correlation = 0;
+
+/// Monotonic microseconds anchored at first use; shared by every timestamp
+/// this file produces so solve elapsed times and sampler t_sec agree.
+std::uint64_t now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point anchor = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                            anchor)
+          .count());
+}
+
+// -- live solve table -------------------------------------------------------
+
+constexpr int kMaxLiveSolves = 64;
+LiveSolve g_live[kMaxLiveSolves];
+std::atomic<std::int64_t> g_solves_completed{0};
+
+// -- pipeline state ---------------------------------------------------------
+
+std::atomic<const char*> g_stage{nullptr};  ///< string literal or null
+std::atomic<int> g_stage_n{0};
+std::atomic<double> g_best_latency{0.0};
+std::atomic<bool> g_has_best{false};
+std::atomic<int> g_best_n{0};
+std::atomic<bool> g_degraded{false};
+
+// -- search tree ------------------------------------------------------------
+
+std::atomic<bool> g_tree_active{false};
+std::atomic<std::int64_t> g_tree_next_id{0};
+
+struct TreeState {
+  std::mutex mu;
+  std::deque<TreeNode> nodes;
+  std::size_t capacity = 1 << 16;
+  std::int64_t recorded = 0;
+  std::int64_t evicted = 0;
+};
+
+TreeState& tree_state() {
+  static TreeState* state = new TreeState;  // leaked: immortal
+  return *state;
+}
+
+/// Copies the ring and re-labels interior nodes whose children are absent
+/// from the dump (evicted, or never explored because a limit fired) as
+/// kBudget, so every non-root node either explains its pruning or has
+/// children present.
+std::vector<TreeNode> dump_nodes(std::int64_t* recorded, std::int64_t* evicted,
+                                 std::size_t* capacity) {
+  TreeState& state = tree_state();
+  std::vector<TreeNode> nodes;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    nodes.assign(state.nodes.begin(), state.nodes.end());
+    *recorded = state.recorded;
+    *evicted = state.evicted;
+    *capacity = state.capacity;
+  }
+  std::unordered_set<std::int64_t> parents;
+  parents.reserve(nodes.size());
+  for (const TreeNode& node : nodes) {
+    if (node.parent >= 0) parents.insert(node.parent);
+  }
+  for (TreeNode& node : nodes) {
+    if (node.kind == NodeKind::kBranched && parents.count(node.id) == 0) {
+      node.kind = NodeKind::kBudget;
+    }
+  }
+  return nodes;
+}
+
+// -- sampler ----------------------------------------------------------------
+
+/// Serializes every record written to the JSONL sink (sampler thread,
+/// stage-transition samples from the pipeline thread, convergence records)
+/// and guards the sink/progress pointers themselves.
+std::mutex g_sink_mu;
+std::ostream* g_sink = nullptr;
+std::ostream* g_progress = nullptr;
+bool g_include_metrics = true;
+milp::CancelToken g_sampler_cancel;
+std::uint64_t g_sampler_start_us = 0;
+std::int64_t g_samples = 0;
+
+struct SamplerThread {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread thread;
+  bool running = false;
+  bool stop_requested = false;
+  double interval_sec = 0.2;
+  bool active_before = false;  ///< telemetry flag predating this sampler
+};
+
+SamplerThread& sampler_thread() {
+  static SamplerThread* thread = new SamplerThread;  // leaked: immortal
+  return *thread;
+}
+
+double sink_elapsed_sec() {
+  return static_cast<double>(now_us() - g_sampler_start_us) / 1e6;
+}
+
+/// Writes one "sample" record. Caller must NOT hold g_sink_mu.
+void emit_sample(const char* trigger) {
+  // Gather the expensive bits before taking the sink lock.
+  const MemoryStatus mem = read_memory_status();
+  std::string metrics_json;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    if (g_sink == nullptr) return;
+    if (g_include_metrics && metrics::enabled()) {
+      metrics_json = metrics::registry().snapshot().to_json();
+    }
+    report::ReportWriter w;
+    w.begin_object();
+    w.field("type", "sample");
+    w.field("t_sec", sink_elapsed_sec());
+    w.field("trigger", trigger);
+    const char* stage = g_stage.load(std::memory_order_relaxed);
+    w.field("stage", stage != nullptr ? stage : "idle");
+    w.field("N", g_stage_n.load(std::memory_order_relaxed));
+    if (g_has_best.load(std::memory_order_relaxed)) {
+      w.field("best_latency_ns", g_best_latency.load(std::memory_order_relaxed));
+      w.field("best_n", g_best_n.load(std::memory_order_relaxed));
+    }
+    w.field("degraded", g_degraded.load(std::memory_order_relaxed));
+    if (g_sampler_cancel.cancelled()) w.field("cancelled", true);
+    w.field("solves_completed",
+            g_solves_completed.load(std::memory_order_relaxed));
+    w.field("rss_kb", mem.rss_kb);
+    w.field("rss_peak_kb", mem.rss_peak_kb);
+    w.begin_array("solves");
+    const std::uint64_t now = now_us();
+    for (LiveSolve& slot : g_live) {
+      const std::uint64_t corr =
+          slot.correlation.load(std::memory_order_acquire);
+      if (corr == 0) continue;
+      w.begin_object();
+      w.field("corr", static_cast<std::int64_t>(corr));
+      const std::uint64_t start = slot.start_us.load(std::memory_order_relaxed);
+      w.field("elapsed_sec",
+              static_cast<double>(now > start ? now - start : 0) / 1e6);
+      w.field("nodes", slot.nodes.load(std::memory_order_relaxed));
+      w.field("open_nodes", slot.open_nodes.load(std::memory_order_relaxed));
+      w.field("lp_iterations",
+              slot.lp_iterations.load(std::memory_order_relaxed));
+      w.field("incumbent_updates",
+              slot.incumbent_updates.load(std::memory_order_relaxed));
+      const bool has_inc = slot.has_incumbent.load(std::memory_order_relaxed);
+      const bool has_bound = slot.has_bound.load(std::memory_order_relaxed);
+      const double inc = slot.incumbent.load(std::memory_order_relaxed);
+      const double bound = slot.best_bound.load(std::memory_order_relaxed);
+      if (has_inc) w.field("incumbent", inc);
+      if (has_bound && std::isfinite(bound)) w.field("bound", bound);
+      if (has_inc && has_bound && std::isfinite(bound)) {
+        w.field("gap", std::fabs(inc - bound) /
+                           std::max(1e-9, std::fabs(inc)));
+      }
+      w.end_object();
+    }
+    w.end_array();
+    if (!metrics_json.empty()) w.raw_field("metrics", metrics_json);
+    w.end_object();
+    *g_sink << w.str() << '\n';
+    g_sink->flush();
+    ++g_samples;
+    if (g_progress != nullptr) {
+      const char* progress_stage = stage != nullptr ? stage : "idle";
+      char line[256];
+      if (g_has_best.load(std::memory_order_relaxed)) {
+        std::snprintf(line, sizeof(line),
+                      "\r[%s N=%d] best=%.0f ns solves=%lld elapsed=%.1fs   ",
+                      progress_stage, g_stage_n.load(std::memory_order_relaxed),
+                      g_best_latency.load(std::memory_order_relaxed),
+                      static_cast<long long>(
+                          g_solves_completed.load(std::memory_order_relaxed)),
+                      sink_elapsed_sec());
+      } else {
+        std::snprintf(line, sizeof(line),
+                      "\r[%s N=%d] best=- solves=%lld elapsed=%.1fs   ",
+                      progress_stage, g_stage_n.load(std::memory_order_relaxed),
+                      static_cast<long long>(
+                          g_solves_completed.load(std::memory_order_relaxed)),
+                      sink_elapsed_sec());
+      }
+      *g_progress << line;
+      g_progress->flush();
+    }
+  }
+}
+
+/// Writes the small lifecycle records ("start" / "final"). Caller must NOT
+/// hold g_sink_mu.
+void emit_lifecycle(const char* type, double interval_sec) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink == nullptr) return;
+  report::ReportWriter w;
+  w.begin_object();
+  w.field("type", type);
+  w.field("t_sec", sink_elapsed_sec());
+  if (interval_sec > 0) w.field("interval_sec", interval_sec);
+  w.field("degraded", g_degraded.load(std::memory_order_relaxed));
+  if (g_sampler_cancel.cancelled()) w.field("cancelled", true);
+  w.field("samples", g_samples);
+  w.field("solves_completed",
+          g_solves_completed.load(std::memory_order_relaxed));
+  w.end_object();
+  *g_sink << w.str() << '\n';
+  g_sink->flush();
+}
+
+void sampler_loop() {
+  SamplerThread& st = sampler_thread();
+  std::unique_lock<std::mutex> lock(st.mu);
+  while (!st.stop_requested) {
+    const auto interval =
+        std::chrono::duration<double>(std::max(0.001, st.interval_sec));
+    st.cv.wait_for(lock, interval,
+                   [&st] { return st.stop_requested; });
+    if (st.stop_requested) break;
+    lock.unlock();
+    emit_sample("interval");
+    lock.lock();
+  }
+}
+
+}  // namespace
+
+bool active() { return g_active.load(std::memory_order_relaxed); }
+
+void set_active(bool on) { g_active.store(on, std::memory_order_relaxed); }
+
+std::uint64_t next_correlation_id() {
+  return g_next_correlation.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t current_correlation_id() { return t_correlation; }
+
+CorrelationScope::CorrelationScope(std::uint64_t id) : prev_(t_correlation) {
+  t_correlation = id;
+}
+
+CorrelationScope::~CorrelationScope() { t_correlation = prev_; }
+
+SolveScope::SolveScope(const char* /*what*/) {
+  if (!active()) return;
+  std::uint64_t id = t_correlation;
+  if (id == 0) {
+    id = next_correlation_id();
+    prev_tls_ = t_correlation;
+    t_correlation = id;
+    swapped_tls_ = true;
+  }
+  id_ = id;
+  for (LiveSolve& slot : g_live) {
+    std::uint64_t expected = 0;
+    // Acquire-release pairs with the release store in the destructor: a
+    // thread that re-claims a slot sees every plain reset below it.
+    if (slot.correlation.compare_exchange_strong(expected, id,
+                                                 std::memory_order_acq_rel)) {
+      slot.nodes.store(0, std::memory_order_relaxed);
+      slot.open_nodes.store(0, std::memory_order_relaxed);
+      slot.lp_iterations.store(0, std::memory_order_relaxed);
+      slot.incumbent_updates.store(0, std::memory_order_relaxed);
+      slot.incumbent.store(0.0, std::memory_order_relaxed);
+      slot.has_incumbent.store(false, std::memory_order_relaxed);
+      slot.best_bound.store(0.0, std::memory_order_relaxed);
+      slot.has_bound.store(false, std::memory_order_relaxed);
+      slot.start_us.store(now_us(), std::memory_order_relaxed);
+      slot_ = &slot;
+      break;
+    }
+  }
+  // Table full: the scope still carries an id (correlation keeps working),
+  // it just does not show up in sample records.
+}
+
+SolveScope::~SolveScope() {
+  if (slot_ != nullptr) {
+    slot_->correlation.store(0, std::memory_order_release);
+    g_solves_completed.fetch_add(1, std::memory_order_relaxed);
+  } else if (id_ != 0) {
+    g_solves_completed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (swapped_tls_) t_correlation = prev_tls_;
+}
+
+std::int64_t solves_completed() {
+  return g_solves_completed.load(std::memory_order_relaxed);
+}
+
+void set_stage(const char* stage, int num_partitions) {
+  if (!active()) return;
+  g_stage.store(stage, std::memory_order_relaxed);
+  g_stage_n.store(num_partitions, std::memory_order_relaxed);
+  // Synchronous record: guarantees >= 1 sample per stage however short the
+  // stage or coarse the interval.
+  emit_sample("stage");
+}
+
+void publish_best_latency(double latency_ns, int num_partitions) {
+  if (!active()) return;
+  g_best_latency.store(latency_ns, std::memory_order_relaxed);
+  g_best_n.store(num_partitions, std::memory_order_relaxed);
+  g_has_best.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink == nullptr) return;
+  report::ReportWriter w;
+  w.begin_object();
+  w.field("type", "convergence");
+  w.field("t_sec", sink_elapsed_sec());
+  w.field("N", num_partitions);
+  w.field("incumbent_latency_ns", latency_ns);
+  w.field("corr", static_cast<std::int64_t>(t_correlation));
+  w.end_object();
+  *g_sink << w.str() << '\n';
+  g_sink->flush();
+}
+
+void publish_degraded(bool degraded) {
+  g_degraded.store(degraded, std::memory_order_relaxed);
+}
+
+void reset_pipeline() {
+  g_stage.store(nullptr, std::memory_order_relaxed);
+  g_stage_n.store(0, std::memory_order_relaxed);
+  g_best_latency.store(0.0, std::memory_order_relaxed);
+  g_has_best.store(false, std::memory_order_relaxed);
+  g_best_n.store(0, std::memory_order_relaxed);
+  g_degraded.store(false, std::memory_order_relaxed);
+  g_solves_completed.store(0, std::memory_order_relaxed);
+}
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kBranched:
+      return "branched";
+    case NodeKind::kIntegral:
+      return "integral";
+    case NodeKind::kPrunedBound:
+      return "pruned_bound";
+    case NodeKind::kPrunedInfeasible:
+      return "pruned_infeasible";
+    case NodeKind::kRejected:
+      return "rejected";
+    case NodeKind::kBudget:
+      return "budget";
+  }
+  return "unknown";
+}
+
+bool tree_active() { return g_tree_active.load(std::memory_order_relaxed); }
+
+void set_tree_active(bool on) {
+  g_tree_active.store(on, std::memory_order_relaxed);
+}
+
+void set_tree_capacity(std::size_t cap) {
+  TreeState& state = tree_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.capacity = std::max<std::size_t>(1, cap);
+  while (state.nodes.size() > state.capacity) {
+    state.nodes.pop_front();
+    ++state.evicted;
+  }
+}
+
+void tree_clear() {
+  TreeState& state = tree_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.nodes.clear();
+  state.recorded = 0;
+  state.evicted = 0;
+  g_tree_next_id.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t tree_next_id() {
+  return g_tree_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void tree_record(const TreeNode& node) {
+  // Self-gating so direct callers pay one relaxed load while recording is
+  // off; the solver additionally caches tree_active() once per solve.
+  if (!tree_active()) return;
+  TreeState& state = tree_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.nodes.push_back(node);
+  ++state.recorded;
+  while (state.nodes.size() > state.capacity) {
+    state.nodes.pop_front();
+    ++state.evicted;
+  }
+}
+
+std::size_t tree_size() {
+  TreeState& state = tree_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.nodes.size();
+}
+
+void write_tree_json(std::ostream& os) {
+  std::int64_t recorded = 0;
+  std::int64_t evicted = 0;
+  std::size_t capacity = 0;
+  const std::vector<TreeNode> nodes =
+      dump_nodes(&recorded, &evicted, &capacity);
+  report::ReportWriter w;
+  w.begin_object();
+  w.field("capacity", static_cast<std::int64_t>(capacity));
+  w.field("recorded", recorded);
+  w.field("evicted", evicted);
+  w.begin_array("nodes");
+  for (const TreeNode& node : nodes) {
+    w.begin_object();
+    w.field("id", node.id);
+    w.field("parent", node.parent);
+    w.field("depth", static_cast<std::int64_t>(node.depth));
+    w.field("kind", to_string(node.kind));
+    if (node.branch_var >= 0) {
+      w.field("branch_var", static_cast<std::int64_t>(node.branch_var));
+      w.field("branch_lb", node.branch_lb);
+      w.field("branch_ub", node.branch_ub);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << w.str() << '\n';
+}
+
+void write_tree_dot(std::ostream& os) {
+  std::int64_t recorded = 0;
+  std::int64_t evicted = 0;
+  std::size_t capacity = 0;
+  const std::vector<TreeNode> nodes =
+      dump_nodes(&recorded, &evicted, &capacity);
+  os << "digraph search_tree {\n"
+     << "  // recorded=" << recorded << " evicted=" << evicted << "\n"
+     << "  node [shape=box, fontsize=10];\n";
+  for (const TreeNode& node : nodes) {
+    const char* color = "black";
+    switch (node.kind) {
+      case NodeKind::kIntegral:
+        color = "green3";
+        break;
+      case NodeKind::kPrunedBound:
+        color = "blue3";
+        break;
+      case NodeKind::kPrunedInfeasible:
+        color = "red3";
+        break;
+      case NodeKind::kRejected:
+        color = "orange3";
+        break;
+      case NodeKind::kBudget:
+        color = "gray50";
+        break;
+      case NodeKind::kBranched:
+        break;
+    }
+    os << "  n" << node.id << " [label=\"#" << node.id << " d" << node.depth;
+    if (node.branch_var >= 0) {
+      os << "\\nx" << node.branch_var << " in [" << node.branch_lb << ","
+         << node.branch_ub << "]";
+    }
+    os << "\\n" << to_string(node.kind) << "\", color=" << color << "];\n";
+    if (node.parent >= 0) {
+      os << "  n" << node.parent << " -> n" << node.id << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+bool start_sampler(const SamplerOptions& options) {
+  if (options.sink == nullptr) return false;
+  SamplerThread& st = sampler_thread();
+  std::lock_guard<std::mutex> lifecycle(st.mu);
+  if (st.running) return false;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    g_sink = options.sink;
+    g_progress = options.progress;
+    g_include_metrics = options.include_metrics;
+    g_sampler_cancel = options.cancel;
+    g_sampler_start_us = now_us();
+    g_samples = 0;
+  }
+  st.interval_sec = options.interval_sec;
+  st.stop_requested = false;
+  st.active_before = active();
+  set_active(true);
+  emit_lifecycle("start", options.interval_sec);
+  st.thread = std::thread(sampler_loop);
+  st.running = true;
+  return true;
+}
+
+void stop_sampler() {
+  SamplerThread& st = sampler_thread();
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (!st.running) return;
+    st.stop_requested = true;
+  }
+  st.cv.notify_all();
+  st.thread.join();
+  // One last sample so the stream's trailing state (degraded flag, final
+  // incumbent) is always observable, then the lifecycle summary.
+  emit_sample("final");
+  emit_lifecycle("final", 0.0);
+  std::lock_guard<std::mutex> lifecycle(st.mu);
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    if (g_progress != nullptr) {
+      *g_progress << '\n';
+      g_progress->flush();
+    }
+    g_sink = nullptr;
+    g_progress = nullptr;
+    g_sampler_cancel = milp::CancelToken();
+  }
+  st.running = false;
+  set_active(st.active_before);
+}
+
+bool sampler_running() {
+  SamplerThread& st = sampler_thread();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.running;
+}
+
+void sample_now(const char* trigger) { emit_sample(trigger); }
+
+MemoryStatus read_memory_status() {
+  MemoryStatus status;
+#ifdef __linux__
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    long long value = 0;
+    if (std::sscanf(line.c_str(), "VmRSS: %lld kB", &value) == 1) {
+      status.rss_kb = value;
+    } else if (std::sscanf(line.c_str(), "VmHWM: %lld kB", &value) == 1) {
+      status.rss_peak_kb = value;
+    }
+  }
+#endif
+  return status;
+}
+
+}  // namespace sparcs::telemetry

@@ -256,6 +256,126 @@ TEST(CliTest, UsageDocumentsExitCodes) {
   const CliRun r = run_cli({});
   EXPECT_NE(r.err.find("exit codes"), std::string::npos);
   EXPECT_NE(r.err.find("--deadline-sec"), std::string::npos);
+  EXPECT_NE(r.err.find("--telemetry-jsonl"), std::string::npos);
+  EXPECT_NE(r.err.find("--search-tree-json"), std::string::npos);
+  EXPECT_NE(r.err.find("--log-json"), std::string::npos);
+}
+
+TEST(CliTest, WritesTelemetryJsonl) {
+  const std::string telemetry = ::testing::TempDir() + "/cli_telemetry.jsonl";
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet",
+                            "--telemetry-jsonl", telemetry,
+                            "--telemetry-interval-ms", "20"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote " + telemetry), std::string::npos);
+
+  std::ifstream in(telemetry);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  bool saw_start = false, saw_sample = false, saw_final = false;
+  bool saw_stage = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    // Every record is a single-line JSON object.
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    if (line.find("\"type\": \"start\"") != std::string::npos) saw_start = true;
+    if (line.find("\"type\": \"sample\"") != std::string::npos)
+      saw_sample = true;
+    if (line.find("\"type\": \"final\"") != std::string::npos) saw_final = true;
+    if (line.find("\"trigger\": \"stage\"") != std::string::npos)
+      saw_stage = true;
+  }
+  EXPECT_GE(lines, 3);
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_sample);
+  EXPECT_TRUE(saw_final);
+  EXPECT_TRUE(saw_stage);  // at least one sample per sweep stage transition
+  std::remove(telemetry.c_str());
+}
+
+TEST(CliTest, TelemetryIntervalIsValidated) {
+  const CliRun r = run_cli({"--workload", "ar", "--telemetry-jsonl", "x",
+                            "--telemetry-interval-ms", "0"});
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.err.find("--telemetry-interval-ms"), std::string::npos);
+}
+
+TEST(CliTest, WritesSearchTreeDumps) {
+  const std::string tree_json = ::testing::TempDir() + "/cli_tree.json";
+  const std::string tree_dot = ::testing::TempDir() + "/cli_tree.dot";
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet",
+                            "--search-tree-json", tree_json,
+                            "--search-tree-dot", tree_dot});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+
+  std::ifstream json_in(tree_json);
+  ASSERT_TRUE(json_in.good());
+  std::stringstream json_text;
+  json_text << json_in.rdbuf();
+  EXPECT_EQ(json_text.str().front(), '{');
+  EXPECT_NE(json_text.str().find("\"nodes\""), std::string::npos);
+  EXPECT_NE(json_text.str().find("\"recorded\""), std::string::npos);
+
+  std::ifstream dot_in(tree_dot);
+  ASSERT_TRUE(dot_in.good());
+  std::stringstream dot_text;
+  dot_text << dot_in.rdbuf();
+  EXPECT_NE(dot_text.str().find("digraph"), std::string::npos);
+  std::remove(tree_json.c_str());
+  std::remove(tree_dot.c_str());
+}
+
+TEST(CliTest, WritesJsonLogsWithCorrelationIds) {
+  const std::string logs = ::testing::TempDir() + "/cli_logs.jsonl";
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet",
+                            "--log-level", "debug", "--log-json", logs});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+
+  std::ifstream in(logs);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  bool saw_corr = false;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_NE(line.find("\"msg\""), std::string::npos) << line;
+    if (line.find("\"corr\"") != std::string::npos) saw_corr = true;
+  }
+  EXPECT_GT(lines, 0);
+  // The per-probe debug statement runs inside a correlation scope, so at
+  // least one record joins with the telemetry/span streams.
+  EXPECT_TRUE(saw_corr);
+  std::remove(logs.c_str());
+}
+
+TEST(CliTest, TelemetryStateResetsBetweenRuns) {
+  // Two runs in one process: the guard must restore the disabled state, and
+  // the second run's telemetry must start from a clean pipeline (its first
+  // records must not leak the first run's stage or incumbent).
+  const std::string first = ::testing::TempDir() + "/cli_t1.jsonl";
+  const std::string second = ::testing::TempDir() + "/cli_t2.jsonl";
+  ASSERT_EQ(run_cli({"--workload", "ar", "--rmax", "200", "--mmax", "64",
+                     "--ct", "50", "--delta", "20", "--quiet",
+                     "--telemetry-jsonl", first}).exit_code, 0);
+  ASSERT_EQ(run_cli({"--workload", "ar", "--rmax", "200", "--mmax", "64",
+                     "--ct", "50", "--delta", "20", "--quiet",
+                     "--telemetry-jsonl", second}).exit_code, 0);
+  std::ifstream in(second);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);  // the "start" record precedes any sample
+  EXPECT_NE(line.find("\"type\": \"start\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"solves_completed\": 0"), std::string::npos) << line;
+  std::remove(first.c_str());
+  std::remove(second.c_str());
 }
 
 }  // namespace

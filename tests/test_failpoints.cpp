@@ -6,15 +6,22 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <sstream>
 #include <string>
 
+#include "core/refine_partitions.hpp"
+#include "json_checker.hpp"
 #include "milp/checker.hpp"
 #include "milp/simplex.hpp"
 #include "milp/solver.hpp"
 #include "support/failpoint.hpp"
+#include "support/telemetry.hpp"
+#include "workloads/dct.hpp"
 
 namespace sparcs {
 namespace {
+
+using sparcs::testing::is_valid_json_lines;
 
 // Primed before main() so the lazy arm_from_env() (triggered by the first
 // should_fail call in this process) sees the variable.
@@ -238,6 +245,94 @@ TEST_F(FailpointTest, StalledWorkerStillTerminates) {
   ASSERT_EQ(s.status, milp::SolveStatus::kFeasible);
   EXPECT_TRUE(milp::check_solution(m, s.values).ok);
   EXPECT_GE(failpoint::trigger_count("milp.bnb.worker_stall"), 1);
+}
+
+// --- telemetry under induced failure ---------------------------------------
+
+/// FailpointTest plus a running telemetry sampler writing to an in-memory
+/// sink; teardown restores the process-default disabled telemetry state.
+class TelemetryFailpointTest : public FailpointTest {
+ protected:
+  void SetUp() override {
+    FailpointTest::SetUp();
+    telemetry::reset_pipeline();
+    telemetry::SamplerOptions options;
+    options.sink = &sink_;
+    options.interval_sec = 0.01;
+    options.include_metrics = false;
+    ASSERT_TRUE(telemetry::start_sampler(options));
+  }
+  void TearDown() override {
+    if (telemetry::sampler_running()) telemetry::stop_sampler();
+    telemetry::reset_pipeline();
+    FailpointTest::TearDown();
+  }
+
+  std::ostringstream sink_;
+};
+
+TEST_F(TelemetryFailpointTest, SolveTimeoutYieldsWellFormedJsonl) {
+  failpoint::arm("milp.solve.timeout");
+  milp::SolverParams params;
+  params.num_threads = 1;
+  const milp::MilpSolution s =
+      milp::Solver(knapsack_model(), params).solve();
+  EXPECT_EQ(s.status, milp::SolveStatus::kLimitReached);
+  telemetry::stop_sampler();
+  const std::string jsonl = sink_.str();
+  EXPECT_TRUE(is_valid_json_lines(jsonl));
+  // The stream closes with a well-formed final record even though the solve
+  // under observation died on an injected timeout.
+  const std::size_t last = jsonl.rfind("{\"type\": \"final\"");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_NE(jsonl.find("\"solves_completed\": 1", last), std::string::npos);
+}
+
+TEST_F(TelemetryFailpointTest, StalledWorkerKeepsSamplerAlive) {
+  failpoint::Spec spec;
+  spec.max_hits = 2;
+  spec.stall_sec = 0.05;
+  failpoint::arm("milp.bnb.worker_stall", spec);
+  milp::Model m("pick7");
+  milp::LinExpr sum;
+  for (int i = 0; i < 60; ++i) {
+    sum += milp::LinExpr(m.add_binary("x" + std::to_string(i)));
+  }
+  m.add_constraint(std::move(sum) == 7.0, "pick7");
+  milp::SolverParams params = milp::first_feasible_params();
+  params.num_threads = 2;
+  params.time_limit_sec = 30.0;
+  const milp::MilpSolution s = milp::Solver(m, params).solve();
+  ASSERT_EQ(s.status, milp::SolveStatus::kFeasible);
+  telemetry::stop_sampler();
+  // The sampler kept emitting interval records while the workers stalled.
+  const std::string jsonl = sink_.str();
+  EXPECT_TRUE(is_valid_json_lines(jsonl));
+  EXPECT_NE(jsonl.find("\"trigger\": \"interval\""), std::string::npos);
+}
+
+TEST_F(TelemetryFailpointTest, DegradedSweepIsReflectedInFinalRecord) {
+  // Injected timeouts make every probe fail while an already-expired time
+  // budget cuts the sweep short after the first probe: the run must end
+  // degraded, and the telemetry stream's last records must say so.
+  failpoint::arm("milp.solve.timeout");
+  const graph::TaskGraph graph = workloads::dct_task_graph();
+  const arch::Device device = arch::custom("test", 576.0, 4096.0, 100.0);
+  core::RefinePartitionsParams params;
+  params.budget.delta = 100.0;
+  params.budget.time_budget_sec = 0.0;
+  params.budget.solver.time_limit_sec = 0.05;
+  params.budget.solver.num_threads = 1;
+  const core::RefinePartitionsResult result =
+      core::refine_partitions_bound(graph, device, params);
+  EXPECT_FALSE(result.best.has_value());
+  EXPECT_TRUE(result.degraded);
+  telemetry::stop_sampler();
+  const std::string jsonl = sink_.str();
+  EXPECT_TRUE(is_valid_json_lines(jsonl));
+  const std::size_t last = jsonl.rfind("{\"type\": \"final\"");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_NE(jsonl.find("\"degraded\": true", last), std::string::npos);
 }
 
 }  // namespace

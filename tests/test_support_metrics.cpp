@@ -14,141 +14,14 @@
 
 #include "support/metrics.hpp"
 #include "support/span.hpp"
+#include "json_checker.hpp"
 
 namespace sparcs {
 namespace {
 
-// --- a minimal JSON well-formedness checker (no external deps) -------------
-
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : text_(text) {}
-
-  bool valid() {
-    pos_ = 0;
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"':
-        return string();
-      case 't':
-        return literal("true");
-      case 'f':
-        return literal("false");
-      case 'n':
-        return literal("null");
-      default:
-        return number();
-    }
-  }
-
-  bool object() {
-    if (!consume('{')) return false;
-    skip_ws();
-    if (consume('}')) return true;
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (!consume(':')) return false;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (consume('}')) return true;
-      if (!consume(',')) return false;
-    }
-  }
-
-  bool array() {
-    if (!consume('[')) return false;
-    skip_ws();
-    if (consume(']')) return true;
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (consume(']')) return true;
-      if (!consume(',')) return false;
-    }
-  }
-
-  bool string() {
-    if (!consume('"')) return false;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (static_cast<unsigned char>(c) < 0x20) return false;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_++];
-        if (esc == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            if (pos_ >= text_.size() ||
-                !std::isxdigit(static_cast<unsigned char>(text_[pos_++]))) {
-              return false;
-            }
-          }
-        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
-          return false;
-        }
-      }
-    }
-    return false;
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    consume('-');
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start && std::isdigit(static_cast<unsigned char>(
-                               text_[start + (text_[start] == '-')]));
-  }
-
-  bool literal(const char* word) {
-    const std::size_t len = std::string(word).size();
-    if (text_.compare(pos_, len, word) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-
-  bool consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-bool is_valid_json(const std::string& text) {
-  return JsonChecker(text).valid();
-}
+// The JSON well-formedness checker lives in json_checker.hpp (shared with
+// the telemetry and failpoint suites).
+using sparcs::testing::is_valid_json;
 
 // Every test leaves collection disabled and the stores clean, matching the
 // process default, so suites sharing the process never observe stale state.
@@ -353,6 +226,32 @@ TEST_F(MetricsTest, SpanClearDropsEvents) {
   std::ostringstream os;
   trace::write_chrome_json(os);
   EXPECT_TRUE(is_valid_json(os.str()));
+}
+
+TEST_F(MetricsTest, EmptyTraceExportIsLiteralEmptyArray) {
+  std::ostringstream os;
+  trace::write_chrome_json(os);
+  EXPECT_EQ(os.str(), "[]\n");
+}
+
+TEST_F(MetricsTest, SpanArgEscapesHostileStrings) {
+  trace::set_enabled(true);
+  {
+    trace::Span span("escape");
+    span.arg("quote", std::string("she said \"hi\""));
+    span.arg("backslash", std::string("C:\\path\\file"));
+    span.arg("newline", std::string("line1\nline2"));
+    span.arg("control", std::string("bell\x07tab\tend"));
+  }
+  trace::set_enabled(false);
+  std::ostringstream os;
+  trace::write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(json.find("C:\\\\path\\\\file"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+  EXPECT_NE(json.find("\\u0007"), std::string::npos);
 }
 
 }  // namespace
