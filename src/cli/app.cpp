@@ -1,5 +1,7 @@
 #include "cli/app.hpp"
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <optional>
 #include <ostream>
@@ -11,7 +13,9 @@
 #include "io/dot.hpp"
 #include "io/table.hpp"
 #include "io/tg_format.hpp"
+#include "milp/types.hpp"
 #include "sim/executor.hpp"
+#include "support/atomic_file.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
@@ -49,7 +53,76 @@ struct Arguments {
   std::string search_tree_json_file;
   std::string search_tree_dot_file;
   std::string log_json_file;
+  std::string checkpoint_file;
+  double checkpoint_interval_sec = 5.0;
+  bool resume = false;
 };
+
+// ---------------------------------------------------------------------------
+// Graceful preemption. SIGINT/SIGTERM flip an atomic flag and trip the run's
+// cancellation token — both async-signal-safe relaxed stores — so the solve
+// unwinds cooperatively through the same anytime-degradation path a deadline
+// uses: destructors run, the final checkpoint and telemetry records land,
+// and the process reports exit code 5 instead of dying mid-write.
+
+std::atomic<bool> g_preempted{false};
+std::atomic<int> g_signal{0};
+milp::CancelToken g_signal_token;  // NOLINT: reassigned per run()
+
+void handle_preempt_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_preempted.store(true, std::memory_order_relaxed);
+  g_signal_token.request_cancel();
+}
+
+/// Installs the preemption handlers for the duration of one run() and
+/// restores default dispositions afterwards, so embedding processes (tests)
+/// keep their own signal behavior outside the run.
+class SignalGuard {
+ public:
+  explicit SignalGuard(milp::CancelToken token) {
+    g_signal_token = std::move(token);
+    g_preempted.store(false, std::memory_order_relaxed);
+    g_signal.store(0, std::memory_order_relaxed);
+    previous_int_ = std::signal(SIGINT, handle_preempt_signal);
+    previous_term_ = std::signal(SIGTERM, handle_preempt_signal);
+  }
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+  ~SignalGuard() {
+    std::signal(SIGINT, previous_int_);
+    std::signal(SIGTERM, previous_term_);
+  }
+
+  [[nodiscard]] static bool preempted() {
+    return g_preempted.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] static const char* signal_name() {
+    return g_signal.load(std::memory_order_relaxed) == SIGTERM ? "SIGTERM"
+                                                               : "SIGINT";
+  }
+
+ private:
+  void (*previous_int_)(int) = SIG_DFL;
+  void (*previous_term_)(int) = SIG_DFL;
+};
+
+/// Lands one artifact atomically (temp + fsync + rename). Failures are a
+/// warning, not an abort — the run's result has already been computed and
+/// printed — but they surface in the exit code (6) when the run was
+/// otherwise clean, so scripts cannot mistake a half-written artifact set
+/// for success.
+bool write_artifact(const std::string& path, std::string_view contents,
+                    const char* what, std::ostream& out, std::ostream& err) {
+  std::string error;
+  if (!atomicfile::write_file_atomic(path, contents, &error)) {
+    err << "warning: cannot write " << what << " to " << path << ": " << error
+        << "\n";
+    return false;
+  }
+  out << "wrote " << path << "\n";
+  return true;
+}
 
 LogLevel parse_log_level(const std::string& name) {
   if (name == "debug") return LogLevel::kDebug;
@@ -125,6 +198,14 @@ Arguments parse_args(const std::vector<std::string>& args) {
       parsed.search_tree_dot_file = value();
     } else if (arg == "--log-json") {
       parsed.log_json_file = value();
+    } else if (arg == "--checkpoint") {
+      parsed.checkpoint_file = value();
+    } else if (arg == "--checkpoint-interval-sec") {
+      parsed.checkpoint_interval_sec = std::stod(value());
+      SPARCS_REQUIRE(parsed.checkpoint_interval_sec >= 0.0,
+                     "--checkpoint-interval-sec must be >= 0");
+    } else if (arg == "--resume") {
+      parsed.resume = true;
     } else if (!arg.empty() && arg[0] == '-') {
       SPARCS_REQUIRE(false, "unknown option " + arg);
     } else {
@@ -135,6 +216,8 @@ Arguments parse_args(const std::vector<std::string>& args) {
   }
   SPARCS_REQUIRE(parsed.input_file.empty() != parsed.workload.empty(),
                  "give exactly one of <graph.tg> or --workload");
+  SPARCS_REQUIRE(!parsed.resume || !parsed.checkpoint_file.empty(),
+                 "--resume needs --checkpoint FILE to resume from");
   return parsed;
 }
 
@@ -149,7 +232,9 @@ graph::TaskGraph builtin_workload(const std::string& name) {
 
 /// Enables the requested observability subsystems (metrics registry, trace
 /// recorder, telemetry sampler, search-tree recorder, JSON log sink) for the
-/// duration of one `run()`, and writes their output files on destruction.
+/// duration of one `run()`, and writes their output files in finalize()
+/// (called explicitly so a write failure can drive the exit code; the
+/// destructor finalizes as a backstop when an exception unwinds past it).
 /// Restores the disabled state on every exit path so repeated in-process
 /// runs (tests, library embedding) start clean.
 class ObservabilityGuard {
@@ -162,7 +247,8 @@ class ObservabilityGuard {
         tree_json_file_(parsed.search_tree_json_file),
         tree_dot_file_(parsed.search_tree_dot_file),
         log_json_file_(parsed.log_json_file),
-        out_(out) {
+        out_(out),
+        err_(err) {
     // The telemetry samples embed a metrics snapshot, so --telemetry-jsonl
     // turns collection on even without --metrics-json (which controls only
     // whether the end-of-run snapshot file is written).
@@ -217,59 +303,74 @@ class ObservabilityGuard {
   }
   ObservabilityGuard(const ObservabilityGuard&) = delete;
   ObservabilityGuard& operator=(const ObservabilityGuard&) = delete;
-  ~ObservabilityGuard() {
+  ~ObservabilityGuard() { finalize(); }
+
+  /// Stops the collectors and lands every requested artifact atomically.
+  /// Idempotent; returns false if any artifact failed to land (including a
+  /// telemetry/log JSONL stream that went bad mid-run). The JSONL sinks are
+  /// flushed after the sampler stops, so --telemetry-jsonl files end with
+  /// the well-formed `final` record even on preemption or degradation.
+  bool finalize() {
+    if (finalized_) return finalize_ok_;
+    finalized_ = true;
+    bool ok = true;
     if (sampler_started_) {
       telemetry::stop_sampler();
-      if (!telemetry_file_.empty()) out_ << "wrote " << telemetry_file_ << "\n";
+      if (!telemetry_file_.empty()) {
+        telemetry_os_.flush();
+        if (telemetry_os_.good()) {
+          out_ << "wrote " << telemetry_file_ << "\n";
+        } else {
+          err_ << "warning: telemetry stream to " << telemetry_file_
+               << " failed\n";
+          ok = false;
+        }
+      }
     }
     if (!metrics_file_.empty() || !telemetry_file_.empty()) {
       metrics::set_enabled(false);
     }
     if (!metrics_file_.empty()) {
-      std::ofstream os(metrics_file_);
-      if (os.good()) {
-        os << metrics::registry().snapshot().to_json() << "\n";
-        out_ << "wrote " << metrics_file_ << "\n";
-      } else {
-        SPARCS_ELOG << "cannot write metrics to " << metrics_file_;
-      }
+      ok &= write_artifact(metrics_file_,
+                           metrics::registry().snapshot().to_json() + "\n",
+                           "metrics", out_, err_);
     }
     if (!trace_file_.empty()) {
       trace::set_enabled(false);
-      std::ofstream os(trace_file_);
-      if (os.good()) {
-        trace::write_chrome_json(os);
-        os << "\n";
-        out_ << "wrote " << trace_file_ << "\n";
-      } else {
-        SPARCS_ELOG << "cannot write trace to " << trace_file_;
-      }
+      std::ostringstream os;
+      trace::write_chrome_json(os);
+      os << "\n";
+      ok &= write_artifact(trace_file_, os.str(), "trace", out_, err_);
     }
     if (!tree_json_file_.empty() || !tree_dot_file_.empty()) {
       telemetry::set_tree_active(false);
       if (!tree_json_file_.empty()) {
-        std::ofstream os(tree_json_file_);
-        if (os.good()) {
-          telemetry::write_tree_json(os);
-          out_ << "wrote " << tree_json_file_ << "\n";
-        } else {
-          SPARCS_ELOG << "cannot write search tree to " << tree_json_file_;
-        }
+        std::ostringstream os;
+        telemetry::write_tree_json(os);
+        ok &= write_artifact(tree_json_file_, os.str(), "search tree", out_,
+                             err_);
       }
       if (!tree_dot_file_.empty()) {
-        std::ofstream os(tree_dot_file_);
-        if (os.good()) {
-          telemetry::write_tree_dot(os);
-          out_ << "wrote " << tree_dot_file_ << "\n";
-        } else {
-          SPARCS_ELOG << "cannot write search tree to " << tree_dot_file_;
-        }
+        std::ostringstream os;
+        telemetry::write_tree_dot(os);
+        ok &= write_artifact(tree_dot_file_, os.str(), "search tree", out_,
+                             err_);
       }
       telemetry::tree_clear();
     }
-    if (!log_json_file_.empty()) set_json_log_sink(nullptr);
+    if (!log_json_file_.empty()) {
+      set_json_log_sink(nullptr);
+      log_json_os_.flush();
+      if (!log_json_os_.good()) {
+        err_ << "warning: JSON log stream to " << log_json_file_
+             << " failed\n";
+        ok = false;
+      }
+    }
     if (activated_telemetry_) telemetry::set_active(false);
     telemetry::reset_pipeline();
+    finalize_ok_ = ok;
+    return ok;
   }
 
  private:
@@ -280,11 +381,14 @@ class ObservabilityGuard {
   std::string tree_dot_file_;
   std::string log_json_file_;
   std::ostream& out_;
+  std::ostream& err_;
   std::ofstream telemetry_os_;
   std::ofstream log_json_os_;
   std::ostringstream discard_;
   bool sampler_started_ = false;
   bool activated_telemetry_ = false;
+  bool finalized_ = false;
+  bool finalize_ok_ = true;
 };
 
 }  // namespace
@@ -321,10 +425,29 @@ options:
   --search-tree-dot FILE     dump the search tree as Graphviz DOT
   --log-json FILE            mirror every log statement as a JSON Lines
                              record carrying the solve correlation id
+  --checkpoint FILE          maintain a crash-safe sweep checkpoint (atomic
+                             rename, CRC-sealed JSON): rewritten after every
+                             completed partition bound and, rate-limited by
+                             --checkpoint-interval-sec, after bisection steps
+  --checkpoint-interval-sec S
+                             minimum seconds between mid-stage checkpoint
+                             writes (default 5; stage completions always
+                             write immediately)
+  --resume                   resume from --checkpoint FILE: finished bounds
+                             are not re-solved and an interrupted bisection
+                             continues from its saved window. A checkpoint
+                             written for different inputs (or a damaged one)
+                             is rejected with a warning and the run starts
+                             fresh; a missing file also starts fresh
   --log-level L              debug|info|warning|error|off (default: warning)
   --quiet                    shorthand for --log-level error; also suppresses
                              the iteration trace table (the --*-json files are
                              still written)
+
+signals:
+  SIGINT/SIGTERM preempt the run gracefully: the in-flight solve cancels
+  cooperatively, the best incumbent so far is reported, and the final
+  checkpoint plus all artifact files are flushed before exiting with code 5.
 
 exit codes:
   0  success (converged result)
@@ -332,6 +455,9 @@ exit codes:
   3  degraded: the time budget or --deadline-sec expired before the sweep
      finished (any printed result is the best incumbent so far)
   4  bad input: unusable arguments or a malformed graph file
+  5  preempted by SIGINT/SIGTERM (state flushed; rerun with --resume)
+  6  an artifact file (--report-json, --dot, ...) failed to land on an
+     otherwise successful run
 )";
 }
 
@@ -348,8 +474,16 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     // in-process invocations do not inherit a previous run's level.
     set_log_level(parsed.log_level.value_or(
         parsed.quiet ? LogLevel::kError : LogLevel::kWarning));
-    const ObservabilityGuard observability(parsed, out, err);
+    ObservabilityGuard observability(parsed, out, err);
 
+    // One cancellation token is shared by the signal handler, the deadline
+    // watchdog and every solve: SIGINT/SIGTERM preempt the run through the
+    // same cooperative path a deadline uses.
+    milp::CancelToken run_cancel = milp::CancelToken::create();
+    SignalGuard signals(run_cancel);
+    bool artifacts_ok = true;
+
+    int code = [&]() -> int {
     graph::TaskGraph graph;
     std::optional<arch::Device> device;
     if (!parsed.workload.empty()) {
@@ -380,12 +514,23 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     options.gamma = parsed.gamma;
     options.budget.solver.time_limit_sec = parsed.time_limit;
     options.budget.solver.num_threads = parsed.threads;
+    options.budget.solver.cancel = run_cancel;
     if (parsed.deadline_sec > 0.0) {
       options.budget.deadline =
           core::Deadline::after_seconds(parsed.deadline_sec);
     }
+    options.checkpoint.path = parsed.checkpoint_file;
+    options.checkpoint.min_interval_sec = parsed.checkpoint_interval_sec;
+    options.checkpoint.resume = parsed.resume;
     const core::PartitionerReport report =
         core::TemporalPartitioner(graph, dev, options).run();
+
+    if (report.resumed) {
+      out << "resumed from checkpoint " << parsed.checkpoint_file << "\n";
+    }
+    if (!report.resume_error.empty()) {
+      err << "warning: started fresh, " << report.resume_error << "\n";
+    }
 
     // The human trace table follows the log level (--quiet implies kError),
     // but the observability files above never do: --trace-json and
@@ -394,11 +539,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       out << io::render_trace(report.trace, ct, false);
     }
     if (!parsed.report_json_file.empty()) {
-      std::ofstream json(parsed.report_json_file);
-      SPARCS_REQUIRE(json.good(),
-                     "cannot write report to " + parsed.report_json_file);
-      json << report.to_json() << "\n";
-      out << "wrote " << parsed.report_json_file << "\n";
+      artifacts_ok &= write_artifact(parsed.report_json_file,
+                                     report.to_json() + "\n", "report", out,
+                                     err);
     }
     // Degradation summary: which partition bounds the sweep probed, cut
     // short or never reached before the budget/deadline expired.
@@ -433,7 +576,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         << " s)\n"
         << report.best->to_string(graph);
 
-    if (parsed.optimal) {
+    // A preempted run still reports its incumbent and flushes artifacts,
+    // but skips the optional extra solves (--optimal) and the simulation:
+    // the user asked the process to wind down, not start new work.
+    if (parsed.optimal && !SignalGuard::preempted()) {
       const core::OptimalResult optimal = core::solve_optimal_over_range(
           graph, dev, parsed.alpha, parsed.gamma, options.budget.solver);
       if (optimal.best) {
@@ -444,20 +590,42 @@ int run(const std::vector<std::string>& args, std::ostream& out,
             << milp::to_string(optimal.status) << ")\n";
       }
     }
-    if (parsed.simulate) {
+    if (parsed.simulate && !SignalGuard::preempted()) {
       out << sim::simulate(graph, dev, *report.best).to_string(graph);
     }
     if (!parsed.dot_file.empty()) {
-      std::ofstream dot(parsed.dot_file);
+      std::ostringstream dot;
       io::write_dot(dot, graph, *report.best);
-      out << "wrote " << parsed.dot_file << "\n";
+      artifacts_ok &=
+          write_artifact(parsed.dot_file, dot.str(), "design DOT", out, err);
     }
     if (!parsed.csv_file.empty()) {
-      std::ofstream csv(parsed.csv_file);
+      std::ostringstream csv;
       io::write_trace_csv(csv, report.trace);
-      out << "wrote " << parsed.csv_file << "\n";
+      artifacts_ok &=
+          write_artifact(parsed.csv_file, csv.str(), "trace CSV", out, err);
     }
     return report.degraded ? 3 : 0;
+    }();
+
+    if (SignalGuard::preempted()) {
+      // Grab one last telemetry sample while the sampler is still running so
+      // the JSONL stream records the preemption, then report and remap the
+      // exit code: 5 says "interrupted, state flushed, resume with --resume".
+      telemetry::sample_now("preempt");
+      err << "preempted by " << SignalGuard::signal_name()
+          << ": best incumbent reported, artifacts flushed"
+          << (parsed.checkpoint_file.empty()
+                  ? ""
+                  : ", checkpoint saved (rerun with --resume)")
+          << "\n";
+      code = 5;
+    }
+    if (!observability.finalize()) artifacts_ok = false;
+    // Artifact failures only take over a clean exit: degraded/infeasible/
+    // preempted codes carry more information than "a file didn't land".
+    if (!artifacts_ok && code == 0) code = 6;
+    return code;
   } catch (const Error& e) {
     err << "error: " << e.what() << "\n" << usage();
     return 4;

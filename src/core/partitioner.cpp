@@ -1,6 +1,9 @@
 #include "core/partitioner.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "core/deadline.hpp"
 #include "core/formulation.hpp"
@@ -38,6 +41,50 @@ PartitionerReport TemporalPartitioner::run() const {
   params.budget = options_.budget;
   params.budget.delta = delta;
   params.max_partitions = options_.max_partitions;
+
+  // Checkpoint/resume: the fingerprint binds the snapshot to everything that
+  // shapes the search trajectory (graph, device, alpha/gamma/delta/cap,
+  // formulation) — a resume against different inputs is rejected and the run
+  // proceeds fresh, never mixing two searches.
+  std::unique_ptr<CheckpointWriter> ckpt_writer;
+  std::optional<SweepCheckpoint> restored;
+  if (!options_.checkpoint.path.empty()) {
+    const std::uint64_t fingerprint = checkpoint_fingerprint(
+        graph_, device_, options_.alpha, options_.gamma, delta,
+        options_.max_partitions, params.budget.formulation);
+    if (options_.checkpoint.resume) {
+      CheckpointLoadResult loaded = load_checkpoint(
+          options_.checkpoint.path, fingerprint, graph_, device_);
+      switch (loaded.status) {
+        case CheckpointLoadStatus::kOk:
+          restored = std::move(loaded.checkpoint);
+          report.resumed = true;
+          SPARCS_ILOG << "resuming sweep from checkpoint "
+                      << options_.checkpoint.path;
+          break;
+        case CheckpointLoadStatus::kMissing:
+          // Nothing to resume (first run, or the crash happened before the
+          // first snapshot): a fresh run is exactly what --resume wants.
+          SPARCS_ILOG << "no checkpoint to resume at "
+                      << options_.checkpoint.path << "; starting fresh";
+          break;
+        default:
+          report.resume_error = loaded.error;
+          SPARCS_WLOG << "checkpoint " << options_.checkpoint.path
+                      << " rejected (" << to_string(loaded.status)
+                      << "): " << loaded.error << "; starting fresh";
+          break;
+      }
+    }
+    ckpt_writer = std::make_unique<CheckpointWriter>(
+        options_.checkpoint.path, options_.checkpoint.min_interval_sec,
+        fingerprint);
+    if (options_.checkpoint.observer) {
+      ckpt_writer->set_observer(options_.checkpoint.observer);
+    }
+    params.checkpoint = ckpt_writer.get();
+    if (restored.has_value()) params.resume = &*restored;
+  }
 
   // Deadline enforcement is layered: every solve clamps its time limit to
   // the remaining budget (cooperative), and the watchdog force-cancels the

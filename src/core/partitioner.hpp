@@ -6,8 +6,12 @@
 
 #include <optional>
 
+#include <functional>
+#include <string>
+
 #include "arch/device.hpp"
 #include "core/bounds.hpp"
+#include "core/checkpoint.hpp"
 #include "core/refine_partitions.hpp"
 #include "core/solution.hpp"
 #include "core/trace.hpp"
@@ -30,6 +34,24 @@ struct PartitionerOptions {
   /// (<= 0 derives max(0.05 s, 10% of the deadline horizon)). Only used when
   /// the deadline is valid.
   double watchdog_grace_sec = 0.0;
+
+  /// Crash-safe checkpoint/resume of the sweep (core/checkpoint).
+  struct CheckpointOptions {
+    /// Snapshot file; empty disables checkpointing entirely.
+    std::string path;
+    /// Throttle for mid-refinement snapshots (stage completions always
+    /// write). <= 0 writes on every probe.
+    double min_interval_sec = 5.0;
+    /// Load `path` before solving and continue from it. A missing file
+    /// falls back to a fresh run; a damaged or mismatched one is rejected
+    /// (diagnostic in PartitionerReport::resume_error) and the run starts
+    /// fresh rather than trusting it.
+    bool resume = false;
+    /// Test hook forwarded to the CheckpointWriter: observes every snapshot
+    /// that landed on disk.
+    std::function<void(const SweepCheckpoint&)> observer;
+  };
+  CheckpointOptions checkpoint;
 };
 
 /// Everything the partitioner learned, including the paper-table trace.
@@ -56,6 +78,12 @@ struct PartitionerReport {
   int n_min_lower = 0;
   int n_min_upper = 0;
   double delta_used = 0.0;
+  /// True when the run continued from a loaded checkpoint: the trace covers
+  /// only the resumed portion, while counters span the whole logical run.
+  bool resumed = false;
+  /// Why a requested --resume did not restore (empty when it did, or when no
+  /// resume was requested). The run proceeded fresh.
+  std::string resume_error;
 
   /// Renders the report as a JSON object (shared ReportWriter schema); the
   /// CLI's --report-json output.

@@ -88,7 +88,11 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
   trace::Span span("Reduce_Latency");
   span.arg("N", static_cast<std::int64_t>(num_partitions));
   ReduceLatencyResult result;
-  int iteration = 0;
+  // A resumed refinement continues the interrupted run's numbering: the
+  // solves it already recorded count toward this stage's total, so a resumed
+  // sweep reports the same per-stage solve counts as an uninterrupted one.
+  int iteration = params.resume ? params.resume->iteration : 0;
+  if (params.resume) result.ilp_solves = params.resume->iteration;
 
   auto record = [&](double ub, double lb, const Probe& probe) {
     IterationRecord row;
@@ -144,6 +148,14 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
     return fitting != nullptr ? fitting : fastest;
   };
 
+  // Everything a checkpoint needs to re-enter the loop below, published
+  // after every probe once an incumbent exists.
+  auto notify_progress = [&] {
+    if (params.on_progress && result.best) {
+      params.on_progress(d_max, d_min, iteration, *result.best);
+    }
+  };
+
   if (params.budget.interrupted()) {
     // Deadline already gone: report a cut-short, empty refinement rather
     // than launching a solve that cannot finish.
@@ -151,16 +163,31 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
     return result;
   }
 
-  Probe probe = solve_window(graph, device, num_partitions, d_max, d_min,
-                             params, pick_hint(d_max));
-  record(d_max, d_min, probe);
-  if (probe.outcome != IterationOutcome::kFeasible) {
-    result.cut_short = params.budget.interrupted();
-    return result;  // Da = 0: this partition bound yields no solution
+  if (params.resume) {
+    // Re-enter the interrupted refinement: the initial probe already ran in
+    // the previous process, its incumbent and window carry over verbatim.
+    d_max = params.resume->d_max;
+    d_min = params.resume->d_min;
+    result.best = params.resume->incumbent;
+    result.achieved_latency = result.best->total_latency_ns;
+    portfolio.push_back(*result.best);
+    SPARCS_ILOG << "Reduce_Latency(N=" << num_partitions
+                << ") resumed from checkpoint: window=[" << d_min << ", "
+                << d_max << "], Da=" << result.achieved_latency << " after "
+                << iteration << " solves";
+  } else {
+    Probe probe = solve_window(graph, device, num_partitions, d_max, d_min,
+                               params, pick_hint(d_max));
+    record(d_max, d_min, probe);
+    if (probe.outcome != IterationOutcome::kFeasible) {
+      result.cut_short = params.budget.interrupted();
+      return result;  // Da = 0: this partition bound yields no solution
+    }
+    result.best = std::move(probe.design);
+    result.achieved_latency = result.best->total_latency_ns;
+    portfolio.push_back(*result.best);
+    notify_progress();
   }
-  result.best = std::move(probe.design);
-  result.achieved_latency = result.best->total_latency_ns;
-  portfolio.push_back(*result.best);
 
   // Binary subdivision of the latency window. A cancellation or an expired
   // deadline unwinds here directly instead of burning a (fast but pointless)
@@ -175,8 +202,8 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
     }
     // Warm-start from the portfolio (which includes the running incumbent):
     // the next solution is often a local perturbation of one of its shapes.
-    probe = solve_window(graph, device, num_partitions, target, d_min, params,
-                         pick_hint(target));
+    Probe probe = solve_window(graph, device, num_partitions, target, d_min,
+                               params, pick_hint(target));
     record(target, d_min, probe);
     if (probe.outcome == IterationOutcome::kFeasible) {
       result.best = std::move(probe.design);
@@ -186,6 +213,7 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
     } else {
       d_min = target;
     }
+    notify_progress();
   }
   SPARCS_ILOG << "Reduce_Latency(N=" << num_partitions
               << ") achieved Da=" << result.achieved_latency << " ns in "

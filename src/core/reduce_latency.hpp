@@ -7,6 +7,7 @@
 // delta.
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "arch/device.hpp"
@@ -18,6 +19,18 @@
 
 namespace sparcs::core {
 
+/// Mid-refinement state restored from a checkpoint. The refinement skips the
+/// initial full-window probe and re-enters the subdivision loop exactly where
+/// the interrupted run left it: same window, same incumbent, and iteration
+/// numbering continuing from the saved count (so the resumed trace and solve
+/// totals line up with an uninterrupted run's).
+struct BisectionResume {
+  double d_max = 0.0;
+  double d_min = 0.0;
+  int iteration = 0;  ///< probes already recorded before the interruption
+  PartitionedDesign incumbent;
+};
+
 struct ReduceLatencyParams {
   /// Shared tolerance/limit/formulation block (delta, solver, formulation).
   SearchBudget budget;
@@ -25,6 +38,15 @@ struct ReduceLatencyParams {
   /// smaller partition bound); a greedy first-fit placement is used when
   /// absent or unusable within the window.
   std::optional<PartitionedDesign> warm_start;
+  /// Re-enter an interrupted refinement instead of starting the window from
+  /// scratch (the caller's d_max/d_min arguments are superseded).
+  std::optional<BisectionResume> resume;
+  /// Observed after every probe that left an incumbent in hand, with the
+  /// current window state — everything a checkpoint needs to re-enter here.
+  /// Runs on the refinement's own thread; keep it cheap and exception-free.
+  std::function<void(double d_max, double d_min, int iteration,
+                     const PartitionedDesign& incumbent)>
+      on_progress;
 };
 
 struct ReduceLatencyResult {

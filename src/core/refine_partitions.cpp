@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/bounds.hpp"
+#include "core/checkpoint.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
@@ -53,6 +54,11 @@ std::unique_ptr<SpeculativeProbe> launch_speculative(
   spec->cancel = milp::CancelToken::create();
   ReduceLatencyParams params = inner;  // worker-private copy
   params.budget.solver.cancel = spec->cancel;
+  // Speculative runs must not touch the durable sweep state: no progress
+  // snapshots (the serial sweep owns the checkpoint), and never a bisection
+  // resume (that state belongs to the stage the sweep re-enters inline).
+  params.on_progress = nullptr;
+  params.resume.reset();
   spec->thread = std::thread([probe = spec.get(), &graph, &device, n, d_max,
                               d_min, params = std::move(params)] {
     try {
@@ -106,6 +112,82 @@ RefinePartitionsResult refine_partitions_bound(
   const int n_min_upper = max_area_partitions(graph, device);
   const int n_stop = n_min_upper + params.gamma;
   const bool speculate = speculation_enabled(params.budget);
+
+  // ---- checkpoint plumbing ----
+  // `ckpt` is the evolving durable state: completed stages only, kept apart
+  // from result.stages (which finish() additionally pollutes with skipped
+  // placeholders). Mid-refinement snapshots carry the pre-stage globals plus
+  // an in_progress window; stage completions fold the stage in and clear it.
+  CheckpointWriter* const ckpt_writer = params.checkpoint;
+  const SweepCheckpoint* const resume = params.resume;
+  SweepCheckpoint ckpt;
+  double base_seconds = 0.0;
+
+  auto sync_ckpt_globals = [&] {
+    ckpt.best = result.best;
+    ckpt.achieved_latency = result.achieved_latency;
+    ckpt.best_num_partitions = result.best_num_partitions;
+    ckpt.ilp_solves = result.ilp_solves;
+    ckpt.seconds = base_seconds + stopwatch.seconds();
+    ckpt.stopped_by_lower_bound = result.stopped_by_lower_bound;
+  };
+
+  /// Declares the stage the sweep is about to run: mid-refinement snapshots
+  /// written while it runs restore to "re-enter stage `stage_n` in `phase`,
+  /// globals as of the previous stage".
+  auto arm_stage = [&](int stage_n, int phase) {
+    inner.on_progress = nullptr;
+    if (ckpt_writer == nullptr) return;
+    ckpt.phase = phase;
+    ckpt.next_n = stage_n;
+    sync_ckpt_globals();
+    inner.on_progress = [&ckpt, ckpt_writer, stage_n](
+                            double d_max, double d_min, int iteration,
+                            const PartitionedDesign& incumbent) {
+      CheckpointInProgress ip;
+      ip.num_partitions = stage_n;
+      ip.d_max = d_max;
+      ip.d_min = d_min;
+      ip.iteration = iteration;
+      ip.achieved_latency = incumbent.total_latency_ns;
+      ip.incumbent = incumbent;
+      ckpt.in_progress = std::move(ip);
+      ckpt_writer->write(ckpt, /*force=*/false);
+    };
+  };
+
+  /// Persists a completed (not cut-short) stage. Cut-short stages are never
+  /// recorded as done: a resume re-enters them through in_progress instead.
+  auto checkpoint_stage_done = [&](int stage_n, bool cut_short, int phase) {
+    if (ckpt_writer == nullptr || cut_short) return;
+    ckpt.stages.push_back(result.stages.back());
+    ckpt.in_progress.reset();
+    ckpt.phase = phase;
+    ckpt.next_n = stage_n + 1;
+    sync_ckpt_globals();
+    ckpt_writer->write(ckpt, /*force=*/true);
+  };
+
+  if (resume != nullptr) {
+    // Restore the globals of the interrupted run; the loops below then skip
+    // every stage the checkpoint accounts as completed.
+    result.best = resume->best;
+    result.achieved_latency = resume->achieved_latency;
+    result.best_num_partitions = resume->best_num_partitions;
+    result.ilp_solves = resume->ilp_solves;
+    result.stages = resume->stages;
+    result.stopped_by_lower_bound = resume->stopped_by_lower_bound;
+    base_seconds = resume->seconds;
+    ckpt = *resume;
+    if (result.best) {
+      telemetry::publish_best_latency(result.achieved_latency,
+                                      result.best_num_partitions);
+    }
+    SPARCS_ILOG << "Refine_Partitions_Bound: resuming from checkpoint ("
+                << resume->stages.size() << " stages done, phase "
+                << resume->phase << ", next N=" << resume->next_n
+                << (resume->in_progress ? ", mid-refinement" : "") << ")";
+  }
 
   auto time_expired = [&] {
     return stopwatch.seconds() >= params.budget.time_budget_sec ||
@@ -166,12 +248,54 @@ RefinePartitionsResult refine_partitions_bound(
     for (const StageAccount& account : result.stages) {
       if (account.status == StageStatus::kCutShort) result.degraded = true;
     }
-    result.seconds = stopwatch.seconds();
+    result.seconds = base_seconds + stopwatch.seconds();
+    if (ckpt_writer != nullptr) {
+      if (!result.degraded) {
+        // Natural termination: seal the checkpoint as a complete record of
+        // the answer; resuming it reproduces the report without solving.
+        ckpt.complete = true;
+        ckpt.in_progress.reset();
+        sync_ckpt_globals();
+      }
+      // A degraded finish deliberately does NOT sync the globals: the
+      // cut-short stage's partial solves are already folded into
+      // result.ilp_solves, but on resume that stage re-runs from
+      // in_progress and re-reports its full count — syncing here would
+      // double-count them. The checkpoint keeps the last consistent
+      // (stage-boundary) globals plus the freshest in_progress window,
+      // which the throttle may have withheld from disk until now.
+      ckpt_writer->write(ckpt, /*force=*/true);
+    }
     telemetry::publish_degraded(result.degraded);
     telemetry::set_stage("done", result.best_num_partitions);
   };
 
   std::unique_ptr<SpeculativeProbe> spec;
+
+  if (resume != nullptr && resume->complete) {
+    // The interrupted run had already terminated naturally; the restored
+    // globals and stage accounts ARE the final answer.
+    finish();
+    return result;
+  }
+
+  // The stage (if any) the checkpoint left mid-refinement; consumed by the
+  // first matching stage below, which re-enters its bisection window.
+  int resume_mid_stage = -1;
+  if (resume != nullptr && resume->in_progress) {
+    resume_mid_stage = resume->in_progress->num_partitions;
+  }
+  auto consume_mid_stage = [&](int stage_n) {
+    inner.resume.reset();
+    if (resume_mid_stage != stage_n) return;
+    BisectionResume bisection;
+    bisection.d_max = resume->in_progress->d_max;
+    bisection.d_min = resume->in_progress->d_min;
+    bisection.iteration = resume->in_progress->iteration;
+    bisection.incumbent = resume->in_progress->incumbent;
+    inner.resume = std::move(bisection);
+    resume_mid_stage = -1;
+  };
 
   // Phase 1: find the first feasible partition bound, starting at
   // N^l_min + alpha and incrementing while Reduce_Latency returns Da = 0.
@@ -182,50 +306,62 @@ RefinePartitionsResult refine_partitions_bound(
   const int n_phase1_cap = std::min(
       params.max_partitions, std::max(graph.num_tasks(), n_stop));
   int n = n_min_lower + params.alpha;
-  while (true) {
-    if (n > n_phase1_cap) {
-      finish();
-      return result;  // provably no solution in the explorable range
-    }
-    telemetry::set_stage("phase1", n);
-    ReduceLatencyResult reduced;
-    const std::size_t first_row = result.trace.size();
-    if (spec != nullptr && spec->n == n) {
-      reduced = adopt(*spec);
-      spec.reset();
-    } else {
-      spec.reset();
-      if (speculate && n + 1 <= n_phase1_cap && !time_expired()) {
-        spec = launch_speculative(graph, device, n + 1,
-                                  max_latency(graph, device, n + 1),
-                                  min_latency(graph, device, n + 1), inner);
+  const bool skip_phase1 = resume != nullptr && resume->phase == 2;
+  if (skip_phase1) {
+    // The checkpointed run already found its first feasible bound; re-enter
+    // phase 2 so its next iteration probes exactly N = resume->next_n.
+    n = std::max(n, resume->next_n - 1);
+  } else {
+    if (resume != nullptr) n = std::max(n, resume->next_n);
+    while (true) {
+      if (n > n_phase1_cap) {
+        finish();
+        return result;  // provably no solution in the explorable range
       }
-      const double d_max = max_latency(graph, device, n);
-      const double d_min = min_latency(graph, device, n);
-      reduced = reduce_latency(graph, device, n, d_max, d_min, inner,
-                               result.trace);
-      result.ilp_solves += reduced.ilp_solves;
-      result.solver_stats.merge(reduced.solver_stats);
+      telemetry::set_stage("phase1", n);
+      arm_stage(n, /*phase=*/1);
+      consume_mid_stage(n);
+      ReduceLatencyResult reduced;
+      const std::size_t first_row = result.trace.size();
+      if (spec != nullptr && spec->n == n) {
+        reduced = adopt(*spec);
+        spec.reset();
+      } else {
+        spec.reset();
+        if (speculate && n + 1 <= n_phase1_cap && !time_expired()) {
+          spec = launch_speculative(graph, device, n + 1,
+                                    max_latency(graph, device, n + 1),
+                                    min_latency(graph, device, n + 1), inner);
+        }
+        const double d_max = max_latency(graph, device, n);
+        const double d_min = min_latency(graph, device, n);
+        reduced = reduce_latency(graph, device, n, d_max, d_min, inner,
+                                 result.trace);
+        result.ilp_solves += reduced.ilp_solves;
+        result.solver_stats.merge(reduced.solver_stats);
+      }
+      record_stage(n, reduced, first_row);
+      if (reduced.best) {
+        result.best = std::move(reduced.best);
+        result.achieved_latency = reduced.achieved_latency;
+        result.best_num_partitions = n;
+        telemetry::publish_best_latency(result.achieved_latency, n);
+        checkpoint_stage_done(n, reduced.cut_short, /*phase=*/2);
+        // Any in-flight speculation used the phase-1 window for N+1; phase 2
+        // caps the window at Da instead, so the prediction cannot match.
+        spec.reset();
+        break;
+      }
+      checkpoint_stage_done(n, reduced.cut_short, /*phase=*/1);
+      if (time_expired()) {
+        spec.reset();
+        result.degraded = true;
+        mark_skipped(n + 1, n_stop);
+        finish();
+        return result;  // no solution within the budget
+      }
+      ++n;
     }
-    record_stage(n, reduced, first_row);
-    if (reduced.best) {
-      result.best = std::move(reduced.best);
-      result.achieved_latency = reduced.achieved_latency;
-      result.best_num_partitions = n;
-      telemetry::publish_best_latency(result.achieved_latency, n);
-      // Any in-flight speculation used the phase-1 window for N+1; phase 2
-      // caps the window at Da instead, so the prediction cannot match.
-      spec.reset();
-      break;
-    }
-    if (time_expired()) {
-      spec.reset();
-      result.degraded = true;
-      mark_skipped(n + 1, n_stop);
-      finish();
-      return result;  // no solution within the budget
-    }
-    ++n;
   }
 
   // Phase 2: relax N looking for strictly better solutions; the achieved
@@ -243,6 +379,8 @@ RefinePartitionsResult refine_partitions_bound(
       result.stopped_by_lower_bound = true;
       break;
     }
+    arm_stage(n, /*phase=*/2);
+    consume_mid_stage(n);
     // Seed the new partition bound with the incumbent design: it stays valid
     // when N grows and focuses the solver on local improvements.
     inner.warm_start = result.best;
@@ -278,6 +416,7 @@ RefinePartitionsResult refine_partitions_bound(
       result.best_num_partitions = n;
       telemetry::publish_best_latency(result.achieved_latency, n);
     }
+    checkpoint_stage_done(n, reduced.cut_short, /*phase=*/2);
   }
   spec.reset();
   if (!result.stopped_by_lower_bound && n < n_stop) {

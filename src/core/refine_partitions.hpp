@@ -29,6 +29,11 @@
 
 namespace sparcs::core {
 
+// Defined in core/checkpoint.hpp; the sweep takes them by pointer so the
+// checkpoint subsystem can layer on top of this header without a cycle.
+struct SweepCheckpoint;
+class CheckpointWriter;
+
 /// How the sweep treated one partition bound N.
 enum class StageStatus : std::uint8_t {
   kProbed,    ///< Reduce_Latency ran to natural termination
@@ -56,6 +61,13 @@ struct RefinePartitionsParams {
   SearchBudget budget;
   /// Hard cap on N in case a pathological instance never becomes feasible.
   int max_partitions = 64;
+  /// Validated snapshot to continue from instead of starting the sweep at
+  /// N^l_min + alpha. Borrowed; may be null. The caller is responsible for
+  /// fingerprint-checking it against this run's inputs (core/checkpoint).
+  const SweepCheckpoint* resume = nullptr;
+  /// Destination for ongoing snapshots (stage completions and throttled
+  /// mid-refinement states). Borrowed; may be null = no checkpointing.
+  CheckpointWriter* checkpoint = nullptr;
 };
 
 struct RefinePartitionsResult {

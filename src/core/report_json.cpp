@@ -109,6 +109,8 @@ std::string PartitionerReport::to_json() const {
   w.field("n_min_lower", n_min_lower);
   w.field("n_min_upper", n_min_upper);
   w.field("delta_used_ns", delta_used);
+  w.field("resumed", resumed);
+  if (!resume_error.empty()) w.field("resume_error", resume_error);
   write_stages(w, stages);
   write_solver_stats(w, solver_stats);
   write_trace(w, trace);

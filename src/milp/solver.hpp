@@ -10,10 +10,23 @@
 // every accepted incumbent as it is found.
 #pragma once
 
+#include <mutex>
+#include <optional>
+#include <vector>
+
 #include "milp/model.hpp"
 #include "milp/types.hpp"
 
 namespace sparcs::milp {
+
+/// Owned copy of the best incumbent a solve has accepted so far: the carried
+/// upper bound plus the full assignment (decodable into a design and reusable
+/// as a warm-start hint). Unlike IncumbentEvent, the storage is the caller's.
+struct IncumbentSnapshot {
+  double objective = 0.0;
+  std::vector<double> values;
+  std::int64_t nodes_explored = 0;
+};
 
 /// One solving session over a fixed model.
 ///
@@ -51,6 +64,13 @@ class Solver {
   /// cheap, and only call back into the solver via cancel().
   void set_incumbent_callback(IncumbentCallback callback);
 
+  /// The best incumbent of the in-flight (or most recent) solve(), copied
+  /// when the search accepted it. Safe from any thread at any time — this is
+  /// how a checkpointer exports the carried upper bound and its assignment
+  /// out of a long solve without waiting for it to return. nullopt until the
+  /// current solve accepts a first incumbent (cleared when solve() starts).
+  [[nodiscard]] std::optional<IncumbentSnapshot> incumbent_snapshot() const;
+
   /// Mutable parameters, applied to the next solve() call. Typical re-solve
   /// pattern: tighten time_limit_sec / node_limit, flip
   /// stop_at_first_feasible, then call solve() again.
@@ -64,6 +84,10 @@ class Solver {
   SolverParams params_;
   CancelToken cancel_;
   IncumbentCallback on_incumbent_;
+  /// Guards snapshot_ against concurrent incumbent_snapshot() readers while
+  /// solver workers publish new incumbents.
+  mutable std::mutex snapshot_mu_;
+  std::optional<IncumbentSnapshot> snapshot_;
 };
 
 /// Parameter preset for constraint-satisfaction queries (the paper's

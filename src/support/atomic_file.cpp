@@ -1,0 +1,199 @@
+#include "support/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace sparcs::atomicfile {
+namespace {
+
+/// CRC-32 lookup table for the reflected IEEE polynomial 0xEDB88320.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::string errno_string() {
+  return std::strerror(errno);
+}
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+/// Directory part of `path` ("." when the path has no separator), used to
+/// fsync the directory entry after the rename.
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       std::string* error) {
+  if (path.empty()) {
+    set_error(error, "empty path");
+    return false;
+  }
+  // Pid-qualified temp name: concurrent writers (or a leftover temp from a
+  // crashed process) never collide with this write.
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, "cannot create " + temp + ": " + errno_string());
+    return false;
+  }
+  const char* data = contents.data();
+  std::size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ::ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "write to " + temp + " failed: " + errno_string());
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return false;
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  // The fsync is the crash-consistency point: after it, the rename either
+  // fully happens or fully does not — no state exposes partial contents.
+  if (::fsync(fd) != 0) {
+    set_error(error, "fsync of " + temp + " failed: " + errno_string());
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, "close of " + temp + " failed: " + errno_string());
+    ::unlink(temp.c_str());
+    return false;
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    set_error(error, "rename " + temp + " -> " + path + " failed: " +
+                         errno_string());
+    ::unlink(temp.c_str());
+    return false;
+  }
+  // Persist the directory entry too. A failure here (exotic filesystems
+  // refuse O_RDONLY fsync on directories) does not undo the rename, so the
+  // write still counts as successful.
+  const int dir_fd = ::open(parent_dir(path).c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return true;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) return std::nullopt;
+  return buffer.str();
+}
+
+std::string seal_json_with_crc(const std::string& json_object) {
+  // Callers hand in a serialized object "{...}"; the seal replaces the final
+  // '}' with a crc32 field over everything before it.
+  const std::size_t close = json_object.find_last_of('}');
+  if (close == std::string::npos || close == 0) return json_object;
+  std::string body = json_object.substr(0, close);
+  char trailer[32];
+  std::snprintf(trailer, sizeof(trailer), ",\"crc32\":\"%08x\"}",
+                crc32(body));
+  // Empty object "{}" has no field to follow, so no separating comma.
+  return body + (body == "{" ? trailer + 1 : trailer);
+}
+
+std::optional<std::string> unseal_json_with_crc(const std::string& text,
+                                                std::string* error) {
+  static constexpr char kMarker[] = "\"crc32\":\"";
+  static constexpr std::size_t kMarkerLen = sizeof(kMarker) - 1;
+  const std::size_t pos = text.rfind(kMarker);
+  if (pos == std::string::npos || pos == 0) {
+    set_error(error, "no crc32 trailer found");
+    return std::nullopt;
+  }
+  const char separator = text[pos - 1];
+  if (separator != ',' && separator != '{') {
+    set_error(error, "malformed crc32 trailer");
+    return std::nullopt;
+  }
+  const std::size_t hex_begin = pos + kMarkerLen;
+  if (hex_begin + 8 + 2 > text.size() ||
+      text.compare(hex_begin + 8, 2, "\"}") != 0) {
+    set_error(error, "truncated crc32 trailer");
+    return std::nullopt;
+  }
+  // Only trailing whitespace may follow the sealed document.
+  for (std::size_t i = hex_begin + 10; i < text.size(); ++i) {
+    if (!std::isspace(static_cast<unsigned char>(text[i]))) {
+      set_error(error, "trailing bytes after crc32 trailer");
+      return std::nullopt;
+    }
+  }
+  std::uint32_t stored = 0;
+  for (std::size_t i = hex_begin; i < hex_begin + 8; ++i) {
+    const char c = text[i];
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      set_error(error, "non-hex crc32 trailer");
+      return std::nullopt;
+    }
+    stored = stored * 16 + digit;
+  }
+  const std::string body =
+      separator == '{' ? "{" : text.substr(0, pos - 1);
+  const std::uint32_t actual = crc32(body);
+  if (actual != stored) {
+    char message[96];
+    std::snprintf(message, sizeof(message),
+                  "crc32 mismatch: stored %08x, computed %08x over %zu bytes",
+                  stored, actual, body.size());
+    set_error(error, message);
+    return std::nullopt;
+  }
+  return body + "}";
+}
+
+}  // namespace sparcs::atomicfile

@@ -1,0 +1,49 @@
+// Crash-consistent artifact writes. Every file the system emits (reports,
+// traces, checkpoints) goes through write_file_atomic(): the contents are
+// written to a temporary sibling, fsync'd, and renamed over the target, so a
+// crash or power cut mid-write leaves either the previous version or the new
+// one — never a truncated hybrid. Failures (full disk, bad path, permission)
+// are reported to the caller instead of silently producing a short file.
+//
+// For artifacts that are *read back* by the system (the sweep checkpoint),
+// rename alone is not enough: the previous version may itself be damaged by
+// an unrelated fault, and a resume must never trust a torn or bit-flipped
+// snapshot. seal_json_with_crc() embeds a CRC32 of the serialized document as
+// its final JSON field ("crc32"), keeping the file a single valid JSON
+// document (external tools can still parse it) while unseal_json_with_crc()
+// refuses any byte-level damage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sparcs::atomicfile {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `data`.
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+/// Writes `contents` to `path` via temp file + fsync + rename. Returns false
+/// (and fills *error when given) on any failure; the target file is never
+/// left half-written.
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       std::string* error = nullptr);
+
+/// Whole-file read; nullopt when the file cannot be opened or read.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+/// Appends `,"crc32":"xxxxxxxx"` as the final field of `json_object` (which
+/// must be a serialized non-empty JSON object ending in '}'). The CRC covers
+/// every byte before the appended field, so any later corruption — including
+/// truncation — is detectable while the sealed text stays one valid JSON
+/// document.
+[[nodiscard]] std::string seal_json_with_crc(const std::string& json_object);
+
+/// Verifies a sealed document and returns the original object (the seal
+/// stripped). nullopt — with a reason in *error — when the trailer is
+/// missing, malformed, or the CRC does not match the bytes on disk.
+[[nodiscard]] std::optional<std::string> unseal_json_with_crc(
+    const std::string& text, std::string* error = nullptr);
+
+}  // namespace sparcs::atomicfile

@@ -1,0 +1,345 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sparcs::json {
+namespace {
+
+/// Nesting cap: a corrupted or hostile document cannot overflow the parser's
+/// recursion; 200 is far beyond any document the system writes.
+constexpr int kMaxDepth = 200;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    ParseResult result;
+    skip_ws();
+    if (!parse_value(result.value, 0)) {
+      result.error = error_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = fail("trailing bytes after document");
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  std::string fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = "offset " + std::to_string(pos_) + ": " + what;
+    }
+    return error_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of document");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Value::make_string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = Value::make_bool(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = Value::make_bool(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = Value::make_null();
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out, int depth) {
+    consume('{');
+    std::vector<std::pair<std::string, Value>> members;
+    skip_ws();
+    if (consume('}')) {
+      out = Value::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return false;
+      }
+      skip_ws();
+      Value value;
+      if (!parse_value(value, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume('}')) {
+        out = Value::make_object(std::move(members));
+        return true;
+      }
+      if (!consume(',')) {
+        fail("expected ',' or '}' in object");
+        return false;
+      }
+    }
+  }
+
+  bool parse_array(Value& out, int depth) {
+    consume('[');
+    std::vector<Value> items;
+    skip_ws();
+    if (consume(']')) {
+      out = Value::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      Value value;
+      if (!parse_value(value, depth + 1)) return false;
+      items.push_back(std::move(value));
+      skip_ws();
+      if (consume(']')) {
+        out = Value::make_array(std::move(items));
+        return true;
+      }
+      if (!consume(',')) {
+        fail("expected ',' or ']' in array");
+        return false;
+      }
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            unsigned digit;
+            if (h >= '0' && h <= '9') {
+              digit = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              digit = static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              digit = static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("non-hex digit in \\u escape");
+              return false;
+            }
+            code = code * 16 + digit;
+          }
+          // Basic-plane UTF-8 encoding; surrogate pairs (absent from our
+          // writers' output) are passed through as two 3-byte sequences.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape character");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // fallthrough to digits
+    }
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      digits = true;
+    }
+    if (consume('.')) {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (!digits) {
+      pos_ = start;
+      fail("expected a value");
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out = Value::make_number(std::strtod(token.c_str(), nullptr));
+    return true;
+  }
+
+  bool literal(const char* word) {
+    const std::string_view w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) {
+      fail("invalid literal");
+      return false;
+    }
+    pos_ += w.size();
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double Value::member_double(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr ? v->as_double(fallback) : fallback;
+}
+
+std::int64_t Value::member_int(std::string_view key,
+                               std::int64_t fallback) const {
+  const Value* v = find(key);
+  return v != nullptr ? v->as_int(fallback) : fallback;
+}
+
+bool Value::member_bool(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return v != nullptr ? v->as_bool(fallback) : fallback;
+}
+
+std::string Value::member_string(std::string_view key,
+                                 std::string fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string()
+                                        : std::move(fallback);
+}
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double n) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::make_object(std::vector<std::pair<std::string, Value>> members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+ParseResult parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace sparcs::json

@@ -1,0 +1,99 @@
+// Minimal JSON document parser (no external deps), grown for the artifacts
+// the system must *read back*: the crash-recovery checkpoint. Parses one
+// complete document into an owning Value tree with order-preserving objects;
+// malformed input returns a positioned error instead of throwing, so a
+// corrupted file on disk degrades to "reject and start fresh" rather than an
+// aborted process.
+//
+// Deliberately small: UTF-8 is passed through verbatim (\uXXXX escapes are
+// decoded for the basic plane), numbers are doubles, and a recursion cap
+// bounds hostile nesting. This is a reader for our own writer's output plus
+// defensive validation — not a general-purpose JSON library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sparcs::json {
+
+/// One parsed JSON value. A tagged struct rather than std::variant so the
+/// accessors can return cheap defaults for schema-tolerant reading.
+class Value {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(number_) : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  [[nodiscard]] const std::vector<Value>& array() const { return array_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& object()
+      const {
+    return object_;
+  }
+
+  /// Member lookup (first match); nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Convenience typed member readers tolerating an absent key.
+  [[nodiscard]] double member_double(std::string_view key,
+                                     double fallback = 0.0) const;
+  [[nodiscard]] std::int64_t member_int(std::string_view key,
+                                        std::int64_t fallback = 0) const;
+  [[nodiscard]] bool member_bool(std::string_view key,
+                                 bool fallback = false) const;
+  [[nodiscard]] std::string member_string(std::string_view key,
+                                          std::string fallback = "") const;
+
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array(std::vector<Value> items);
+  static Value make_object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+struct ParseResult {
+  bool ok = false;
+  Value value;
+  /// Human-readable reason with a byte offset, e.g. "offset 12: expected ':'".
+  std::string error;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed).
+[[nodiscard]] ParseResult parse(std::string_view text);
+
+}  // namespace sparcs::json

@@ -356,6 +356,91 @@ TEST(CliTest, WritesJsonLogsWithCorrelationIds) {
   std::remove(logs.c_str());
 }
 
+TEST(CliTest, CheckpointFlagsAreValidated) {
+  const CliRun no_file = run_cli({"--workload", "ar", "--resume"});
+  EXPECT_EQ(no_file.exit_code, 4);
+  EXPECT_NE(no_file.err.find("--resume needs --checkpoint"),
+            std::string::npos);
+
+  const CliRun bad_interval = run_cli(
+      {"--workload", "ar", "--checkpoint", "x", "--checkpoint-interval-sec",
+       "-1"});
+  EXPECT_EQ(bad_interval.exit_code, 4);
+  EXPECT_NE(bad_interval.err.find("--checkpoint-interval-sec"),
+            std::string::npos);
+}
+
+TEST(CliTest, CheckpointIsWrittenAndResumable) {
+  const std::string ckpt = ::testing::TempDir() + "/cli_ckpt.json";
+  const CliRun first = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                                "64", "--ct", "50", "--delta", "20", "--quiet",
+                                "--checkpoint", ckpt});
+  EXPECT_EQ(first.exit_code, 0) << first.err;
+
+  // The on-disk checkpoint is one valid CRC-sealed JSON document.
+  std::ifstream in(ckpt);
+  ASSERT_TRUE(in.good());
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"format\": \"sparcs-sweep-checkpoint\""),
+            std::string::npos);
+  EXPECT_NE(text.str().find("\"complete\": true"), std::string::npos);
+  EXPECT_NE(text.str().find("\"crc32\":\""), std::string::npos);
+
+  // Resuming the complete checkpoint reproduces the answer.
+  const CliRun second = run_cli({"--workload", "ar", "--rmax", "200",
+                                 "--mmax", "64", "--ct", "50", "--delta",
+                                 "20", "--quiet", "--checkpoint", ckpt,
+                                 "--resume"});
+  EXPECT_EQ(second.exit_code, 0) << second.err;
+  EXPECT_NE(second.out.find("resumed from checkpoint"), std::string::npos);
+  EXPECT_NE(second.out.find("best:"), std::string::npos);
+  std::remove(ckpt.c_str());
+}
+
+TEST(CliTest, DamagedCheckpointWarnsAndRunsFresh) {
+  const std::string ckpt = ::testing::TempDir() + "/cli_ckpt_bad.json";
+  {
+    std::ofstream os(ckpt);
+    os << "{\"not\":\"a checkpoint\"}";
+  }
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet",
+                            "--checkpoint", ckpt, "--resume"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.err.find("warning: started fresh"), std::string::npos) << r.err;
+  EXPECT_EQ(r.out.find("resumed from checkpoint"), std::string::npos);
+  EXPECT_NE(r.out.find("best:"), std::string::npos);
+  std::remove(ckpt.c_str());
+}
+
+TEST(CliTest, ArtifactWriteFailureYieldsExitCode6) {
+  // A run that succeeds but cannot land a requested artifact must say so in
+  // the exit code — not silently report success with a missing file.
+  const CliRun r = run_cli({"--workload", "ar", "--rmax", "200", "--mmax",
+                            "64", "--ct", "50", "--delta", "20", "--quiet",
+                            "--report-json",
+                            "/nonexistent_dir_sparcs/report.json"});
+  EXPECT_EQ(r.exit_code, 6) << r.err;
+  EXPECT_NE(r.err.find("warning: cannot write report"), std::string::npos)
+      << r.err;
+  // The degraded/infeasible codes still win over the artifact code.
+  const CliRun infeasible = run_cli(
+      {"--workload", "ar", "--rmax", "200", "--mmax", "1", "--ct", "50",
+       "--delta", "20", "--quiet", "--report-json",
+       "/nonexistent_dir_sparcs/report.json"});
+  EXPECT_EQ(infeasible.exit_code, 2);
+}
+
+TEST(CliTest, UsageDocumentsCheckpointingAndSignals) {
+  const CliRun r = run_cli({});
+  EXPECT_NE(r.err.find("--checkpoint FILE"), std::string::npos);
+  EXPECT_NE(r.err.find("--resume"), std::string::npos);
+  EXPECT_NE(r.err.find("SIGINT/SIGTERM"), std::string::npos);
+  EXPECT_NE(r.err.find("5  preempted"), std::string::npos);
+  EXPECT_NE(r.err.find("6  an artifact"), std::string::npos);
+}
+
 TEST(CliTest, TelemetryStateResetsBetweenRuns) {
   // Two runs in one process: the guard must restore the disabled state, and
   // the second run's telemetry must start from a clean pipeline (its first

@@ -193,6 +193,31 @@ TEST(MilpSessionTest, IncumbentCallbackObservesImprovingSolutions) {
   EXPECT_NEAR(objectives.back(), s.objective, 1e-9);
 }
 
+TEST(MilpSessionTest, IncumbentSnapshotExportsTheCarriedUpperBound) {
+  const Model m = knapsack_model();
+  Solver solver(m, optimality_params());
+  // Before any solve there is nothing to export.
+  EXPECT_FALSE(solver.incumbent_snapshot().has_value());
+
+  const MilpSolution s = solver.solve();
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  const auto snap = solver.incumbent_snapshot();
+  ASSERT_TRUE(snap.has_value());
+  // The snapshot is the last accepted incumbent: the optimum, with its full
+  // assignment (decodable/replayable by a checkpointer) and node stamp.
+  EXPECT_NEAR(snap->objective, s.objective, 1e-9);
+  EXPECT_EQ(snap->values.size(), s.values.size());
+  EXPECT_GT(snap->nodes_explored, 0);
+
+  // A new solve starts a new incumbent lineage; the stale snapshot must not
+  // survive into it. Cancel before solving: no incumbent, no snapshot.
+  solver.cancel();
+  const MilpSolution cancelled = solver.solve();
+  EXPECT_EQ(cancelled.status, SolveStatus::kLimitReached);
+  EXPECT_FALSE(solver.incumbent_snapshot().has_value());
+  solver.reset_cancel();
+}
+
 TEST(MilpSessionTest, IncumbentCallbackCanCancelViaToken) {
   // A knapsack big enough that proving optimality takes far longer than
   // finding the first incumbent, so cancelling from the callback observably
