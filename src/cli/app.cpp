@@ -56,7 +56,17 @@ struct Arguments {
   std::string checkpoint_file;
   double checkpoint_interval_sec = 5.0;
   bool resume = false;
+  milp::CertifyMode certify = milp::CertifyMode::kOff;
 };
+
+milp::CertifyMode parse_certify(const std::string& name) {
+  if (name == "off") return milp::CertifyMode::kOff;
+  if (name == "incumbents") return milp::CertifyMode::kIncumbents;
+  if (name == "full") return milp::CertifyMode::kFull;
+  SPARCS_REQUIRE(false, "unknown --certify mode '" + name +
+                            "' (expected off, incumbents or full)");
+  return milp::CertifyMode::kOff;
+}
 
 // ---------------------------------------------------------------------------
 // Graceful preemption. SIGINT/SIGTERM flip an atomic flag and trip the run's
@@ -206,6 +216,10 @@ Arguments parse_args(const std::vector<std::string>& args) {
                      "--checkpoint-interval-sec must be >= 0");
     } else if (arg == "--resume") {
       parsed.resume = true;
+    } else if (arg == "--certify") {
+      parsed.certify = parse_certify(value());
+    } else if (arg.rfind("--certify=", 0) == 0) {
+      parsed.certify = parse_certify(arg.substr(std::string("--certify=").size()));
     } else if (!arg.empty() && arg[0] == '-') {
       SPARCS_REQUIRE(false, "unknown option " + arg);
     } else {
@@ -407,6 +421,14 @@ options:
                              degraded report (exit code 3)
   --threads T                solver worker threads (0 = all hardware threads,
                              1 = single-threaded legacy search; default 0)
+  --certify MODE             exact-rational certificate checking of solver
+                             verdicts: off (default), incumbents (every
+                             reported design re-checked exactly), full
+                             (incumbents plus Farkas/propagation proofs for
+                             every infeasible verdict). A failed check
+                             triggers one distrust re-solve; a verdict still
+                             uncertified afterwards degrades the run
+                             conservatively and exits with code 7
   --optimal                  also run the optimal-ILP reference
   --simulate                 simulate the best design (Gantt-style report)
   --dot FILE / --csv FILE    export the design / the iteration trace
@@ -458,6 +480,9 @@ exit codes:
   5  preempted by SIGINT/SIGTERM (state flushed; rerun with --resume)
   6  an artifact file (--report-json, --dot, ...) failed to land on an
      otherwise successful run
+  7  uncertified: with --certify, at least one solver verdict failed its
+     exact certificate check even after the distrust re-solve (the report
+     marks the affected probes; printed results are conservative)
 )";
 }
 
@@ -519,6 +544,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       options.budget.deadline =
           core::Deadline::after_seconds(parsed.deadline_sec);
     }
+    options.budget.solver.certify = parsed.certify;
     options.checkpoint.path = parsed.checkpoint_file;
     options.checkpoint.min_interval_sec = parsed.checkpoint_interval_sec;
     options.checkpoint.resume = parsed.resume;
@@ -543,10 +569,20 @@ int run(const std::vector<std::string>& args, std::ostream& out,
                                      report.to_json() + "\n", "report", out,
                                      err);
     }
+    // Certification summary: how many verdicts were checked exactly and
+    // whether any stayed uncertified after the distrust retry.
+    const bool uncertified = report.solver_stats.uncertified_verdicts > 0;
+    if (parsed.certify != milp::CertifyMode::kOff) {
+      out << "certified: " << report.solver_stats.certificates_checked
+          << " verdicts checked exactly, "
+          << report.solver_stats.certify_retries << " distrust retries, "
+          << report.solver_stats.uncertified_verdicts << " uncertified\n";
+    }
     // Degradation summary: which partition bounds the sweep probed, cut
-    // short or never reached before the budget/deadline expired.
+    // short or never reached before the budget/deadline expired — or
+    // stopped conservatively on an uncertified verdict.
     if (report.degraded) {
-      int probed = 0, cut_short = 0, skipped = 0;
+      int probed = 0, cut_short = 0, skipped = 0, degraded_stages = 0;
       for (const core::StageAccount& stage : report.stages) {
         switch (stage.status) {
           case core::StageStatus::kProbed:
@@ -558,15 +594,19 @@ int run(const std::vector<std::string>& args, std::ostream& out,
           case core::StageStatus::kSkipped:
             ++skipped;
             break;
+          case core::StageStatus::kDegraded:
+            ++degraded_stages;
+            break;
         }
       }
-      out << "degraded: budget or deadline expired mid-sweep (" << probed
-          << " bounds probed, " << cut_short << " cut short, " << skipped
-          << " skipped" << (report.watchdog_fired ? "; watchdog fired" : "")
-          << ")\n";
+      out << "degraded: budget/deadline expired or verdicts went uncertified ("
+          << probed << " bounds probed, " << cut_short << " cut short, "
+          << skipped << " skipped, " << degraded_stages << " uncertified"
+          << (report.watchdog_fired ? "; watchdog fired" : "") << ")\n";
     }
     if (!report.feasible) {
       out << "no feasible partitioning in the explored range\n";
+      if (uncertified) return 7;
       return report.degraded ? 3 : 2;
     }
     out << (report.degraded ? "best so far: " : "best: ")
@@ -605,6 +645,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       artifacts_ok &=
           write_artifact(parsed.csv_file, csv.str(), "trace CSV", out, err);
     }
+    if (uncertified) return 7;
     return report.degraded ? 3 : 0;
     }();
 

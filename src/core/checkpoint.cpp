@@ -163,6 +163,8 @@ bool parse_stage(const json::Value& v, StageAccount* out, std::string* error) {
     out->status = StageStatus::kCutShort;
   } else if (status == to_string(StageStatus::kSkipped)) {
     out->status = StageStatus::kSkipped;
+  } else if (status == to_string(StageStatus::kDegraded)) {
+    out->status = StageStatus::kDegraded;
   } else {
     return fail(error, "stage entry has unknown status '" + status + "'");
   }

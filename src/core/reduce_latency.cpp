@@ -18,6 +18,7 @@ struct Probe {
   double seconds = 0.0;
   std::int64_t nodes = 0;
   milp::SolverStats stats;
+  milp::CertifyStatus certified = milp::CertifyStatus::kNotRequested;
 };
 
 Probe solve_window(const graph::TaskGraph& graph, const arch::Device& device,
@@ -72,6 +73,17 @@ Probe solve_window(const graph::TaskGraph& graph, const arch::Device& device,
       probe.outcome = IterationOutcome::kLimit;
       break;
   }
+  probe.certified = solution.certified;
+  if (solution.certified == milp::CertifyStatus::kUncertified) {
+    // The verdict survived neither the exact check nor the distrust retry:
+    // neither "a design exists" nor "none exists below this bound" can be
+    // trusted, so the probe carries no design and moves no window bound.
+    probe.outcome = IterationOutcome::kUncertified;
+    probe.design.reset();
+    SPARCS_WLOG << "probe N=" << num_partitions << " window=[" << d_min
+                << ", " << d_max << "] verdict uncertified ("
+                << solution.certify_detail << "); treating as inconclusive";
+  }
   return probe;
 }
 
@@ -106,6 +118,7 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
     row.seconds = probe.seconds;
     row.nodes = probe.nodes;
     row.stats = probe.stats;
+    row.certified = probe.certified;
     trace.push_back(row);
     result.solver_stats.merge(probe.stats);
     ++result.ilp_solves;
@@ -181,6 +194,7 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
     record(d_max, d_min, probe);
     if (probe.outcome != IterationOutcome::kFeasible) {
       result.cut_short = params.budget.interrupted();
+      result.degraded = probe.outcome == IterationOutcome::kUncertified;
       return result;  // Da = 0: this partition bound yields no solution
     }
     result.best = std::move(probe.design);
@@ -205,6 +219,14 @@ ReduceLatencyResult reduce_latency(const graph::TaskGraph& graph,
     Probe probe = solve_window(graph, device, num_partitions, target, d_min,
                                params, pick_hint(target));
     record(target, d_min, probe);
+    if (probe.outcome == IterationOutcome::kUncertified) {
+      // Conservative stop: raising d_min on a distrusted "infeasible" could
+      // fence off the true optimum, and a distrusted "feasible" design must
+      // not become the reported latency. The incumbent (last probe that DID
+      // certify) stands; the window simply stops refining.
+      result.degraded = true;
+      break;
+    }
     if (probe.outcome == IterationOutcome::kFeasible) {
       result.best = std::move(probe.design);
       result.achieved_latency = result.best->total_latency_ns;

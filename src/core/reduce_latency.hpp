@@ -59,6 +59,11 @@ struct ReduceLatencyResult {
   /// True when the refinement stopped early (deadline/cancellation) instead
   /// of converging the window to delta: `best` is an anytime result.
   bool cut_short = false;
+  /// True when a probe's verdict stayed uncertified after the distrust
+  /// retry: the subdivision stopped on a conservative window (no bound was
+  /// moved on the distrusted verdict) and `best` is the last certified
+  /// incumbent. See DESIGN.md, "Certified verdicts".
+  bool degraded = false;
 };
 
 /// Runs the latency refinement for `num_partitions`, appending one

@@ -89,6 +89,8 @@ std::string to_string(StageStatus status) {
       return "cut-short";
     case StageStatus::kSkipped:
       return "skipped";
+    case StageStatus::kDegraded:
+      return "degraded";
   }
   return "unknown";
 }
@@ -201,8 +203,9 @@ RefinePartitionsResult refine_partitions_bound(
                           std::size_t first_row) {
     StageAccount account;
     account.num_partitions = stage_n;
-    account.status = reduced.cut_short ? StageStatus::kCutShort
-                                       : StageStatus::kProbed;
+    account.status = reduced.cut_short    ? StageStatus::kCutShort
+                     : reduced.degraded ? StageStatus::kDegraded
+                                        : StageStatus::kProbed;
     account.solves = reduced.ilp_solves;
     for (std::size_t i = first_row; i < result.trace.size(); ++i) {
       account.seconds += result.trace[i].seconds;
@@ -243,10 +246,14 @@ RefinePartitionsResult refine_partitions_bound(
                                   ? a.num_partitions < b.num_partitions
                                   : a.iteration < b.iteration;
                      });
-    // A stage interrupted mid-refinement degrades the result even when the
-    // sweep then terminated at its natural end of range.
+    // A stage interrupted mid-refinement — or stopped on an uncertified
+    // verdict — degrades the result even when the sweep then terminated at
+    // its natural end of range.
     for (const StageAccount& account : result.stages) {
-      if (account.status == StageStatus::kCutShort) result.degraded = true;
+      if (account.status == StageStatus::kCutShort ||
+          account.status == StageStatus::kDegraded) {
+        result.degraded = true;
+      }
     }
     result.seconds = base_seconds + stopwatch.seconds();
     if (ckpt_writer != nullptr) {

@@ -39,6 +39,10 @@ enum class StageStatus : std::uint8_t {
   kProbed,    ///< Reduce_Latency ran to natural termination
   kCutShort,  ///< Reduce_Latency started but was interrupted mid-refinement
   kSkipped,   ///< never started: the budget/deadline expired first
+  /// An uncertified solver verdict stopped the stage's refinement on a
+  /// conservative window; its incumbent (if any) is certified, but the
+  /// window did not converge to delta.
+  kDegraded,
 };
 
 [[nodiscard]] std::string to_string(StageStatus status);

@@ -16,6 +16,8 @@ const char* to_string(IterationOutcome outcome) {
       return "infeasible";
     case IterationOutcome::kLimit:
       return "limit";
+    case IterationOutcome::kUncertified:
+      return "uncertified";
   }
   return "unknown";
 }
@@ -69,6 +71,9 @@ void write_trace(report::ReportWriter& w, const Trace& trace) {
     w.field("achieved_latency_ns", row.achieved_latency);
     w.field("seconds", row.seconds);
     w.field("nodes", row.nodes);
+    if (row.certified != milp::CertifyStatus::kNotRequested) {
+      w.field("certified", milp::to_string(row.certified));
+    }
     // Per-(N, iteration) convergence timeline of the probe's solve.
     write_convergence(w, row.stats.convergence);
     w.end_object();

@@ -15,6 +15,9 @@ enum class IterationOutcome : std::uint8_t {
   kFeasible,
   kInfeasible,
   kLimit,  ///< solver hit its node/time budget without an answer
+  /// The verdict failed exact certification even after the distrust retry:
+  /// the refinement treats the probe as inconclusive (no window movement).
+  kUncertified,
 };
 
 /// One row of the paper-style trace tables.
@@ -28,6 +31,9 @@ struct IterationRecord {
   double seconds = 0.0;           ///< wall time of the solve
   std::int64_t nodes = 0;         ///< branch & bound nodes explored
   milp::SolverStats stats;        ///< full per-layer stats of the solve
+  /// Exact-certificate status of the probe's verdict (kNotRequested unless
+  /// the solve ran with --certify).
+  milp::CertifyStatus certified = milp::CertifyStatus::kNotRequested;
 };
 
 using Trace = std::vector<IterationRecord>;

@@ -1,6 +1,7 @@
 #include "io/csv.hpp"
 
 #include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <istream>
@@ -47,6 +48,9 @@ void write_trace_csv(std::ostream& os, const core::Trace& trace) {
         break;
       case core::IterationOutcome::kLimit:
         outcome = "limit";
+        break;
+      case core::IterationOutcome::kUncertified:
+        outcome = "uncertified";
         break;
     }
     const std::int64_t pruned = row.stats.nodes_pruned_by_bound +
@@ -149,9 +153,21 @@ constexpr std::size_t kNumTraceColumns =
     sizeof(kTraceColumns) / sizeof(kTraceColumns[0]);
 
 double parse_trace_double(const std::string& cell, int line, const char* col) {
-  char* end = nullptr;
-  const double value = std::strtod(cell.c_str(), &end);
-  SPARCS_REQUIRE(!cell.empty() && end == cell.c_str() + cell.size(),
+  // Locale-independent fast path; std::strtod would honour LC_NUMERIC and
+  // misread "1.5" under a comma-decimal locale. Fallback: strtod still
+  // accepts legacy cells with a leading '+' or whitespace that from_chars
+  // (deliberately) rejects, so old trace files stay readable.
+  double value = 0.0;
+  const std::from_chars_result res =
+      std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  bool ok = !cell.empty() && res.ec == std::errc() &&
+            res.ptr == cell.data() + cell.size();
+  if (!ok && !cell.empty()) {
+    char* end = nullptr;
+    value = std::strtod(cell.c_str(), &end);
+    ok = end == cell.c_str() + cell.size();
+  }
+  SPARCS_REQUIRE(ok,
                  str_format("line %d: column %s: expected a number, got '%s'",
                             line, col, cell.c_str()));
   SPARCS_REQUIRE(std::isfinite(value) && value >= 0.0,
@@ -189,6 +205,7 @@ core::IterationOutcome parse_trace_outcome(const std::string& cell,
   if (cell == "feasible") return core::IterationOutcome::kFeasible;
   if (cell == "infeasible") return core::IterationOutcome::kInfeasible;
   if (cell == "limit") return core::IterationOutcome::kLimit;
+  if (cell == "uncertified") return core::IterationOutcome::kUncertified;
   SPARCS_REQUIRE(false,
                  str_format("line %d: column outcome: unknown label '%s'",
                             line, cell.c_str()));

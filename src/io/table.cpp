@@ -81,6 +81,9 @@ std::string render_trace(const core::Trace& trace, double ct_ns,
       case core::IterationOutcome::kLimit:
         da = "Limit";
         break;
+      case core::IterationOutcome::kUncertified:
+        da = "Uncert.";
+        break;
     }
     table.add_row({std::to_string(row.num_partitions),
                    std::to_string(row.iteration),

@@ -13,6 +13,7 @@
 #include <thread>
 #include <utility>
 
+#include "milp/certificate.hpp"
 #include "milp/checker.hpp"
 #include "milp/compiled.hpp"
 #include "milp/propagation.hpp"
@@ -32,6 +33,12 @@ namespace {
 /// order, with a prefix ordering before its extensions (an ancestor region
 /// still contains leaves on both sides of any of its descendants).
 using Rank = std::vector<std::int32_t>;
+
+/// Hard cap on recorded infeasibility-proof nodes (per worker and for the
+/// merged proof). Past it the proof is flagged overflowed — the exact checker
+/// refuses it and the verdict honestly stays uncertified — instead of letting
+/// a pathological search exhaust memory on bookkeeping.
+constexpr std::size_t kMaxProofNodes = 200'000;
 
 /// One donated unit of work: a bounds box (the donor's propagation fixpoint
 /// plus one untried branch) and the variable whose bound changed, so the
@@ -259,6 +266,30 @@ class ParallelContext {
     return true;
   }
 
+  // ---- Infeasibility-proof fragments -------------------------------------
+  // Workers deposit their recorded proof nodes here on exit; ranks never
+  // collide because the pool hands every subproblem to exactly one worker
+  // and each worker's DFS enters each of its ranks once.
+
+  void contribute_proof(std::vector<ProofNode>&& nodes, bool overflowed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    proof_overflowed_ = proof_overflowed_ || overflowed ||
+                        proof_nodes_.size() + nodes.size() > kMaxProofNodes;
+    if (!proof_overflowed_) {
+      proof_nodes_.insert(proof_nodes_.end(),
+                          std::make_move_iterator(nodes.begin()),
+                          std::make_move_iterator(nodes.end()));
+    }
+  }
+
+  /// Stitches the fragments into one proof (call after workers joined).
+  [[nodiscard]] std::shared_ptr<const InfeasibilityProof> take_proof() {
+    auto proof = std::make_shared<InfeasibilityProof>();
+    proof->nodes = std::move(proof_nodes_);
+    proof->overflowed = proof_overflowed_;
+    return proof;
+  }
+
   // ---- Result extraction (single-threaded, after join) -------------------
 
   [[nodiscard]] bool have_solution() const {
@@ -317,6 +348,8 @@ class ParallelContext {
   std::atomic<double> best_obj_{kInfinity};
   std::atomic<std::uint64_t> candidate_version_{0};
   std::vector<ConvergenceEvent> convergence_;  ///< under mu_
+  std::vector<ProofNode> proof_nodes_;         ///< under mu_
+  bool proof_overflowed_ = false;              ///< under mu_
 };
 
 /// One open decision in the DFS stack.
@@ -341,7 +374,10 @@ class BnbSearch {
                     params.max_propagation_rounds),
         model_(model),
         live_(callbacks.live),
-        tree_on_(telemetry::tree_active()) {}
+        tree_on_(telemetry::tree_active()),
+        proof_on_(params.certify == CertifyMode::kFull) {
+    if (proof_on_) propagator_.set_log(&prop_log_);
+  }
 
   /// Single-threaded entry point (ctx == nullptr).
   MilpSolution run();
@@ -393,6 +429,99 @@ class BnbSearch {
            compiled_.objective_terms().empty();
   }
 
+  // ---- Infeasibility-proof recording (active when certify == kFull) ------
+
+  /// This worker's DFS position, the rank of the node being processed.
+  [[nodiscard]] Rank current_rank() const {
+    Rank rank = base_rank_;
+    rank.insert(rank.end(), path_.begin(), path_.end());
+    return rank;
+  }
+  /// Appends a proof node (respecting the size cap).
+  void record_proof_node(ProofNode&& node) {
+    if (!proof_on_) return;
+    if (proof_nodes_.size() >= kMaxProofNodes) {
+      proof_overflowed_ = true;
+      return;
+    }
+    proof_nodes_.push_back(std::move(node));
+  }
+  /// Moves the entry-propagation derivations of the current node out of the
+  /// staging slot (they were parked there by the propagate call that entered
+  /// the node).
+  [[nodiscard]] std::vector<Derivation> take_pending_derivations() {
+    return std::move(pending_derivations_);
+  }
+  /// Parks a successful propagate() call's derivations for the node it just
+  /// entered, and resets the log for the next call.
+  void stage_propagation_log() {
+    if (!proof_on_) return;
+    pending_derivations_ = std::move(prop_log_.derivations);
+    prop_log_.clear();
+  }
+  /// Records the refutation of a node whose entry propagate() failed, using
+  /// the partial derivation trace plus the conflict the log captured.
+  void record_conflict_leaf(Rank rank) {
+    if (!proof_on_) return;
+    ProofNode node;
+    node.rank = std::move(rank);
+    node.kind = ProofNode::Kind::kConflict;
+    node.derivations = std::move(prop_log_.derivations);
+    node.conflict_row = prop_log_.conflict_row;
+    node.conflict_var = prop_log_.conflict_var;
+    prop_log_.clear();
+    if (SPARCS_FAILPOINT("milp.certify.corrupt_proof")) {
+      // Strip the leaf's refutation: the exact checker rejects a leaf that
+      // carries no certificate, demoting the whole verdict to uncertified —
+      // the fault-injection hook for propagation-refuted infeasibilities
+      // (milp.certify.corrupt_ray covers the LP-refuted ones).
+      node.kind = ProofNode::Kind::kUnproven;
+    }
+    record_proof_node(std::move(node));
+  }
+  /// Records the refutation of the current node from an infeasible LP
+  /// (completion or prune), translating the stashed LP certificate.
+  void record_lp_leaf() {
+    if (!proof_on_) return;
+    ProofNode node;
+    node.rank = current_rank();
+    node.derivations = take_pending_derivations();
+    switch (lp_cert_.kind) {
+      case LpCertificate::Kind::kFarkas:
+        node.kind = ProofNode::Kind::kFarkas;
+        node.rows = std::move(lp_cert_rows_);
+        node.y = std::move(lp_cert_.y);
+        break;
+      case LpCertificate::Kind::kEmptyBound:
+        node.kind = ProofNode::Kind::kEmptyBox;
+        node.var = lp_cert_empty_var_;
+        break;
+      case LpCertificate::Kind::kNone:
+        node.kind = ProofNode::Kind::kUnproven;
+        break;
+    }
+    record_proof_node(std::move(node));
+  }
+  /// Stops recording once an incumbent exists: the final status can no
+  /// longer be kInfeasible, so the proof would be dead weight.
+  void drop_proof_recording() {
+    if (!proof_on_) return;
+    proof_on_ = false;
+    propagator_.set_log(nullptr);
+    proof_nodes_.clear();
+    pending_derivations_.clear();
+    prop_log_.clear();
+  }
+  /// Hands the recorded tree to an infeasible serial result (no-op on any
+  /// other status, where the nodes are dead weight).
+  void attach_proof(MilpSolution& result) {
+    if (!proof_on_ || result.status != SolveStatus::kInfeasible) return;
+    auto proof = std::make_shared<InfeasibilityProof>();
+    proof->nodes = std::move(proof_nodes_);
+    proof->overflowed = proof_overflowed_;
+    result.proof = std::move(proof);
+  }
+
   const SolverParams& params_;
   BnbCallbacks callbacks_;
   ParallelContext* ctx_ = nullptr;
@@ -440,6 +569,22 @@ class BnbSearch {
   /// so per-worker counters aggregate correctly across threads).
   std::int64_t live_pub_nodes_ = 0;
   std::int64_t live_pub_lp_iters_ = 0;
+
+  // -- infeasibility-proof recording (inert unless proof_on_) --------------
+  bool proof_on_ = false;
+  DerivationLog prop_log_;
+  /// Entry-propagation derivations of the node being processed, parked
+  /// between the propagate() call that entered it and its proof record.
+  std::vector<Derivation> pending_derivations_;
+  std::vector<ProofNode> proof_nodes_;
+  bool proof_overflowed_ = false;
+  /// LP certificate stash of the most recent infeasible in-node LP solve.
+  LpCertificate lp_cert_;
+  std::vector<ConstraintId> lp_cert_rows_;  ///< model row of each LP row
+  VarId lp_cert_empty_var_ = -1;            ///< model var of a kEmptyBound
+  /// True when the current leaf's continuous completion LP was infeasible
+  /// (set by complete_continuous, consumed by handle_leaf).
+  bool lp_refuted_ = false;
 
   /// Live-slot publish period in nodes (power of two, used as a mask).
   static constexpr std::int64_t kLivePublishPeriod = 256;
@@ -490,11 +635,13 @@ bool BnbSearch::complete_continuous(std::vector<double>& candidate,
   *unbounded = false;
   const int n = compiled_.num_vars();
   std::vector<int> cont_index(static_cast<std::size_t>(n), -1);
+  std::vector<VarId> cont_var;  ///< model var of each LP var (proof only)
   LpProblem lp;
   for (VarId v = 0; v < n; ++v) {
     if (!compiled_.is_integral(v)) {
       cont_index[static_cast<std::size_t>(v)] =
           lp.add_var(0.0, domains_.lb(v), domains_.ub(v));
+      if (proof_on_) cont_var.push_back(v);
     }
   }
 
@@ -511,6 +658,7 @@ bool BnbSearch::complete_continuous(std::vector<double>& candidate,
     const int j = cont_index[static_cast<std::size_t>(t.var)];
     if (j >= 0) lp.obj[static_cast<std::size_t>(j)] += t.coef;
   }
+  std::vector<ConstraintId> row_ids;  ///< model row of each LP row (proof)
   for (int c = 0; c < compiled_.num_constraints(); ++c) {
     const CompiledConstraint& cc = compiled_.constraint(c);
     if (!std::isfinite(cc.rhs)) continue;  // inactive cutoff
@@ -549,7 +697,10 @@ bool BnbSearch::complete_continuous(std::vector<double>& candidate,
         redundant = max_act <= rhs + tol && min_act >= rhs - tol;
         break;
     }
-    if (!redundant) lp.add_row(std::move(terms), cc.sense, rhs);
+    if (!redundant) {
+      lp.add_row(std::move(terms), cc.sense, rhs);
+      if (proof_on_) row_ids.push_back(c);
+    }
   }
 
   const LpResult lp_result = solve_lp(lp, node_lp_params());
@@ -558,6 +709,25 @@ bool BnbSearch::complete_continuous(std::vector<double>& candidate,
     case LpStatus::kOptimal:
       break;
     case LpStatus::kInfeasible:
+      lp_refuted_ = true;
+      if (proof_on_) {
+        // Stash the certificate in model coordinates: the ray is over the
+        // folded rows, but the folding only changed the rhs by the fixed
+        // integral contributions, which the exact checker re-derives from
+        // the full model row and the node box.
+        lp_cert_ = lp_result.certificate;
+        lp_cert_rows_ = std::move(row_ids);
+        lp_cert_empty_var_ =
+            lp_cert_.kind == LpCertificate::Kind::kEmptyBound &&
+                    lp_cert_.var >= 0 &&
+                    lp_cert_.var < static_cast<int>(cont_var.size())
+                ? cont_var[static_cast<std::size_t>(lp_cert_.var)]
+                : -1;
+        if (lp_cert_.kind == LpCertificate::Kind::kEmptyBound &&
+            lp_cert_empty_var_ < 0) {
+          lp_cert_.kind = LpCertificate::Kind::kNone;
+        }
+      }
       return false;
     case LpStatus::kUnbounded:
       *unbounded = true;
@@ -585,6 +755,7 @@ bool BnbSearch::lp_prune() {
   for (VarId v = 0; v < n; ++v) {
     lp.add_var(0.0, domains_.lb(v), domains_.ub(v));
   }
+  std::vector<ConstraintId> row_ids;  ///< model row of each LP row (proof)
   for (int c = 0; c < compiled_.num_constraints(); ++c) {
     const CompiledConstraint& cc = compiled_.constraint(c);
     if (!std::isfinite(cc.rhs)) continue;
@@ -596,9 +767,18 @@ bool BnbSearch::lp_prune() {
       terms.push_back({vars[k], coefs[k]});
     }
     lp.add_row(std::move(terms), cc.sense, cc.rhs);
+    if (proof_on_) row_ids.push_back(c);
   }
   const LpResult lp_result = solve_lp(lp, node_lp_params());
   absorb_lp(lp_result);
+  if (proof_on_ && lp_result.status == LpStatus::kInfeasible) {
+    lp_cert_ = lp_result.certificate;
+    lp_cert_rows_ = std::move(row_ids);
+    // LP variables are the model variables here, so a kEmptyBound var needs
+    // no translation.
+    lp_cert_empty_var_ =
+        lp_cert_.kind == LpCertificate::Kind::kEmptyBound ? lp_cert_.var : -1;
+  }
   // kNumericalFailure (recovery exhausted) keeps the node: skipping the LP
   // prune is always sound, just slower.
   return lp_result.status != LpStatus::kInfeasible;  // true = keep node
@@ -618,6 +798,15 @@ void BnbSearch::absorb_lp(const LpResult& lp_result) {
 LpParams BnbSearch::node_lp_params() const {
   LpParams lp;
   lp.should_abort = [this] { return limits_hit(); };
+  lp.want_certificate = proof_on_;
+  if (params_.distrust) {
+    // Certification retry: Bland's rule from the first iteration and
+    // tightened tolerances — slower, but the numerically cautious pivoting
+    // usually makes the re-extracted certificates verify exactly.
+    lp.stall_threshold = 0;
+    lp.feasibility_tol = std::min(lp.feasibility_tol, 1e-9);
+    lp.optimality_tol = std::min(lp.optimality_tol, 1e-9);
+  }
   return lp;
 }
 
@@ -699,6 +888,7 @@ void BnbSearch::record_incumbent(std::vector<double> values,
     return;
   }
   if (have_incumbent_ && obj >= incumbent_obj_) return;
+  drop_proof_recording();  // a feasible point rules out an infeasible verdict
   incumbent_ = std::move(values);
   incumbent_obj_ = obj;
   have_incumbent_ = true;
@@ -734,6 +924,9 @@ void BnbSearch::record_incumbent(std::vector<double> values,
 }
 
 void BnbSearch::worker_record(std::vector<double> values, double obj) {
+  // Whether or not this offer wins the race, some worker holds a feasible
+  // point, so the solve can no longer end kInfeasible: stop recording.
+  drop_proof_recording();
   Rank leaf = base_rank_;
   leaf.insert(leaf.end(), path_.begin(), path_.end());
   if (first_feasible_mode()) {
@@ -812,6 +1005,7 @@ bool BnbSearch::position_pruned() {
 bool BnbSearch::handle_leaf(MilpSolution& result) {
   std::vector<double> candidate;
   bool unbounded = false;
+  lp_refuted_ = false;
   if (complete_continuous(candidate, &unbounded)) {
     if (SPARCS_FAILPOINT("milp.bnb.corrupt_leaf") && !candidate.empty()) {
       // Simulates a wrong completion (the failure the checker gate exists
@@ -838,6 +1032,10 @@ bool BnbSearch::handle_leaf(MilpSolution& result) {
     result.status = SolveStatus::kUnbounded;
     stop_ = true;
     return true;
+  } else if (!unbounded && lp_refuted_) {
+    // Integral leaf with no continuous completion: the stashed LP
+    // certificate becomes this leaf's refutation.
+    record_lp_leaf();
   }
   return stop_;
 }
@@ -934,6 +1132,9 @@ void BnbSearch::search_loop(MilpSolution& result) {
         }
         if (lp_bounding && !lp_prune()) {
           ++stats_.nodes_pruned_by_bound;
+          // Without an incumbent the prune can only come from an infeasible
+          // relaxation, so the stashed LP certificate refutes this node.
+          record_lp_leaf();
           if (tree_on_) {
             tnode.kind = telemetry::NodeKind::kPrunedBound;
             telemetry::tree_record(tnode);
@@ -945,6 +1146,17 @@ void BnbSearch::search_loop(MilpSolution& result) {
         frame.var = v;
         frame.branches = make_branches(v);
         frame.trail_mark = domains_.checkpoint();
+        if (proof_on_) {
+          // Interior node: its branch list (recorded before any donation
+          // trims it) is the coverage obligation the checker verifies.
+          ProofNode inode;
+          inode.rank = current_rank();
+          inode.kind = ProofNode::Kind::kBranched;
+          inode.derivations = take_pending_derivations();
+          inode.var = v;
+          inode.branches = frame.branches;
+          record_proof_node(std::move(inode));
+        }
         if (ctx_ != nullptr && frame.branches.size() > 1 && ctx_->hungry()) {
           donate_siblings(frame);
         }
@@ -1011,14 +1223,32 @@ void BnbSearch::search_loop(MilpSolution& result) {
     path_.back() = static_cast<std::int32_t>(top.next - 1);
     const VarId v = top.var;
     bool ok = true;
+    bool empty_on_arrival = false;
     if (blo > domains_.lb(v)) ok = ok && (domains_.set_lb(v, blo), true);
     if (bhi < domains_.ub(v)) ok = ok && (domains_.set_ub(v, bhi), true);
-    if (domains_.lb(v) > domains_.ub(v)) ok = false;
+    if (domains_.lb(v) > domains_.ub(v)) {
+      ok = false;
+      empty_on_arrival = true;
+    }
     if (ok) {
       ok = propagator_.propagate(domains_, {v}, prop_stats_);
+      if (ok) stage_propagation_log();
     }
     if (!ok) {
       // Conflict: stay on this frame and try its next branch.
+      if (proof_on_) {
+        if (empty_on_arrival) {
+          // The branch box itself was empty: no propagation ran, the
+          // emptiness at the branch variable is the whole refutation.
+          ProofNode leaf;
+          leaf.rank = current_rank();
+          leaf.kind = ProofNode::Kind::kEmptyBox;
+          leaf.var = v;
+          record_proof_node(std::move(leaf));
+        } else {
+          record_conflict_leaf(current_rank());
+        }
+      }
       ++stats_.nodes_pruned_infeasible;
       if (tree_on_) {
         // The refuted branch never descends, so its record is created here.
@@ -1049,11 +1279,14 @@ MilpSolution BnbSearch::run() {
 
   // Root propagation doubles as presolve.
   const bool root_ok = propagator_.propagate(domains_, {}, prop_stats_);
+  if (root_ok) stage_propagation_log();
   stats_.presolve_bounds_tightened = prop_stats_.bounds_tightened;
   stats_.presolve_vars_fixed = prop_stats_.vars_fixed;
   if (!root_ok) {
+    record_conflict_leaf({});  // the root itself is the refuted node
     result.status = SolveStatus::kInfeasible;
     result.seconds = stopwatch_.seconds();
+    attach_proof(result);
     export_stats(result);
     return result;
   }
@@ -1086,6 +1319,7 @@ MilpSolution BnbSearch::run() {
     result.objective =
         compiled_.objective_flipped() ? -incumbent_obj_ : incumbent_obj_;
   }
+  attach_proof(result);
   return result;
 }
 
@@ -1123,15 +1357,32 @@ void BnbSearch::run_worker() {
     sync_shared_incumbent();
 
     bool ok = true;
+    bool empty_on_arrival = false;
     std::vector<VarId> seeds;
     if (node.seed >= 0) {
       if (domains_.lb(node.seed) > domains_.ub(node.seed)) {
         ok = false;
+        empty_on_arrival = true;
       } else {
         seeds.push_back(node.seed);
       }
     }
     if (ok) ok = propagator_.propagate(domains_, seeds, prop_stats_);
+    if (proof_on_) {
+      if (ok) {
+        stage_propagation_log();
+      } else if (empty_on_arrival) {
+        // The donated branch box refuted on arrival; mirror the serial
+        // search's empty-box leaf at the subtree's base rank.
+        ProofNode leaf;
+        leaf.rank = base_rank_;
+        leaf.kind = ProofNode::Kind::kEmptyBox;
+        leaf.var = node.seed;
+        record_proof_node(std::move(leaf));
+      } else {
+        record_conflict_leaf(base_rank_);
+      }
+    }
     if (node.seed < 0) {
       // Root subproblem: its fixpoint is the solver's presolve.
       stats_.presolve_bounds_tightened = prop_stats_.bounds_tightened;
@@ -1159,6 +1410,11 @@ void BnbSearch::run_worker() {
     ctx_->release();
   }
   publish_live();  // final flush of this worker's deltas
+  if (params_.certify == CertifyMode::kFull) {
+    // Merge this worker's proof fragment (empty when recording was dropped;
+    // harmless, since an incumbent rules out an infeasible verdict anyway).
+    ctx_->contribute_proof(std::move(proof_nodes_), proof_overflowed_);
+  }
   stats_.nodes_explored = nodes_;
   stats_.propagated_constraints = prop_stats_.constraints_processed;
   stats_.bounds_tightened = prop_stats_.bounds_tightened;
@@ -1265,6 +1521,10 @@ MilpSolution solve_parallel(const Model& model, const SolverParams& params,
     // With dropped subtrees an exhausted pool no longer proves infeasibility.
     result.status = ctx.incomplete() ? SolveStatus::kNumericalFailure
                                      : SolveStatus::kInfeasible;
+  }
+  if (result.status == SolveStatus::kInfeasible &&
+      params.certify == CertifyMode::kFull) {
+    result.proof = ctx.take_proof();
   }
   return result;
 }

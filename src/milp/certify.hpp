@@ -1,0 +1,51 @@
+// Independent certificate checker: re-establishes solver verdicts in exact
+// rational arithmetic (support/rational), with zero tolerance.
+//
+// This is the trust anchor of the certified-verdict pipeline: it shares no
+// state with the solver, reads only the Model and the certificate, and every
+// comparison it makes is exact. A passing check means the verdict is true of
+// the Model as written (real arithmetic), not merely plausible under
+// floating-point tolerances. A failing check never proves the verdict wrong
+// — certificates are floating-point hints — it demotes it to "uncertified",
+// which the solver answers with one distrust-and-retry re-solve.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "milp/certificate.hpp"
+#include "milp/model.hpp"
+
+namespace sparcs::milp {
+
+/// Outcome of one certificate check.
+struct CertifyCheck {
+  bool ok = false;
+  /// Human-readable reason for a failed check, or a note on how a passing
+  /// feasibility check was closed (e.g. "repaired 2 continuous values").
+  std::string detail;
+};
+
+/// Exact feasibility check of `values` against the model: bounds and
+/// integrality of every variable, then every constraint, all with zero
+/// tolerance. When the direct check fails on a constraint, the checker
+/// attempts an exact repair of the *continuous* variables only (the integral
+/// assignment — the part the partitioner decodes — is never altered): bounds
+/// implied by single-variable residuals are tightened to an exact fixpoint,
+/// each continuous value is clamped into its exact interval, and the whole
+/// model is re-evaluated. Success either way certifies the claim "the
+/// integral assignment extends to an exactly feasible solution".
+[[nodiscard]] CertifyCheck certify_feasible(const Model& model,
+                                            const std::vector<double>& values);
+
+/// Exact check of a tree-shaped infeasibility proof: walks the tree from the
+/// root box (the model bounds), replays every node's bound derivations
+/// soundly (the checker derives its own exact bounds; recorded values are
+/// never trusted), verifies that interior nodes' branch boxes cover the
+/// variable's integral domain, and verifies every leaf refutation — row
+/// conflicts and emptied domains exactly, Farkas rays by exact product signs
+/// against the node's exact box.
+[[nodiscard]] CertifyCheck certify_infeasible(const Model& model,
+                                              const InfeasibilityProof& proof);
+
+}  // namespace sparcs::milp

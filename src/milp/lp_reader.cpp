@@ -48,10 +48,33 @@ class Lexer {
       return op;
     }
     std::string token;
-    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
-           text_[pos_] != '+' && text_[pos_] != '-' && text_[pos_] != ':' &&
-           text_[pos_] != '<' && text_[pos_] != '>' && text_[pos_] != '=') {
-      token += text_[pos_++];
+    auto take_word = [&] {
+      while (pos_ < text_.size() &&
+             !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+             text_[pos_] != '+' && text_[pos_] != '-' && text_[pos_] != ':' &&
+             text_[pos_] != '<' && text_[pos_] != '>' && text_[pos_] != '=') {
+        token += text_[pos_++];
+      }
+    };
+    take_word();
+    // Scientific-notation exponents: "2e-07" must stay one token, but the
+    // loop above stops at '+'/'-'. Re-join the sign (and the exponent
+    // digits after it) when it follows the trailing 'e'/'E' of a purely
+    // numeric mantissa — variable names like "rate" never qualify.
+    if (!token.empty() && (token.back() == 'e' || token.back() == 'E') &&
+        pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+      bool numeric_mantissa = token.size() > 1;
+      for (std::size_t i = 0; i + 1 < token.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(token[i])) &&
+            token[i] != '.') {
+          numeric_mantissa = false;
+          break;
+        }
+      }
+      if (numeric_mantissa) {
+        token += text_[pos_++];
+        take_word();
+      }
     }
     return token;
   }
@@ -86,6 +109,21 @@ bool is_number(const std::string& token) {
   char* end = nullptr;
   std::strtod(token.c_str(), &end);
   return end == token.c_str() + token.size();
+}
+
+/// Consumes an optional run of '+'/'-' sign tokens followed by a numeric
+/// token. The lexer emits signs as standalone tokens, so negative rhs and
+/// bound values ("<= -3") arrive as two tokens that must be recombined here.
+double parse_signed_number(Lexer& lexer, const char* what) {
+  double sign = 1.0;
+  std::string t = lexer.next();
+  while (t == "+" || t == "-") {
+    if (t == "-") sign = -sign;
+    t = lexer.next();
+  }
+  SPARCS_REQUIRE(is_number(t), std::string("expected numeric ") + what +
+                                   ", got '" + t + "'");
+  return sign * std::strtod(t.c_str(), nullptr);
 }
 
 bool iequals(const std::string& a, const char* b) {
@@ -217,10 +255,7 @@ Model read_lp_string(const std::string& text) {
           row.sense = (t == "<=" || t == "<")   ? Sense::kLessEqual
                       : (t == ">=" || t == ">") ? Sense::kGreaterEqual
                                                 : Sense::kEqual;
-          const std::string rhs_token = lexer.next();
-          SPARCS_REQUIRE(is_number(rhs_token),
-                         "expected numeric rhs, got '" + rhs_token + "'");
-          row.rhs = std::strtod(rhs_token.c_str(), nullptr);
+          row.rhs = parse_signed_number(lexer, "rhs");
           rows.push_back(std::move(row));
           break;
         }
@@ -355,16 +390,12 @@ Model read_lp_string(const std::string& text) {
         const std::string op = lexer.peek();
         if (op == "<=" || op == "<") {
           lexer.next();
-          const std::string ub_token = lexer.next();
-          SPARCS_REQUIRE(is_number(ub_token), "bad upper bound");
           pending[static_cast<std::size_t>(var)].ub =
-              std::strtod(ub_token.c_str(), nullptr);
+              parse_signed_number(lexer, "upper bound");
         } else if (op == ">=" || op == ">") {
           lexer.next();
-          const std::string lb_token = lexer.next();
-          SPARCS_REQUIRE(is_number(lb_token), "bad lower bound");
           pending[static_cast<std::size_t>(var)].lb =
-              std::strtod(lb_token.c_str(), nullptr);
+              parse_signed_number(lexer, "lower bound");
         } else if (iequals(op, "free")) {
           lexer.next();
           pending[static_cast<std::size_t>(var)].lb = -kInfinity;

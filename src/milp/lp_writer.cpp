@@ -1,13 +1,24 @@
 #include "milp/lp_writer.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <ostream>
 #include <sstream>
 
-#include "support/strings.hpp"
-
 namespace sparcs::milp {
 namespace {
+
+/// Shortest decimal form that parses back to the identical double
+/// (std::to_chars round-trip guarantee). LP files are a model interchange
+/// format, not a display surface: a fixed decimal trim would silently
+/// perturb coefficients on reload, which the exact certificate checker
+/// would then correctly flag as a different model.
+std::string lp_number(double value) {
+  char buf[64];
+  const std::to_chars_result res =
+      std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
 
 /// LP format requires names without spaces; fall back to x<i> for anonymous
 /// variables.
@@ -34,7 +45,7 @@ void write_terms(std::ostream& os, const Model& model,
       os << (coef < 0 ? " - " : " + ");
     }
     const double mag = std::abs(coef);
-    if (mag != 1.0) os << trim_double(mag) << " ";
+    if (mag != 1.0) os << lp_number(mag) << " ";
     os << var_name(model, t.var);
   }
   if (first) os << "0 " << var_name(model, 0);
@@ -64,7 +75,7 @@ void write_lp(std::ostream& os, const Model& model) {
         os << " = ";
         break;
     }
-    os << trim_double(info.rhs) << "\n";
+    os << lp_number(info.rhs) << "\n";
   }
   os << "Bounds\n";
   for (VarId v = 0; v < model.num_vars(); ++v) {
@@ -78,10 +89,10 @@ void write_lp(std::ostream& os, const Model& model) {
     if (std::isinf(info.lb)) {
       os << "-inf <= ";
     } else {
-      os << trim_double(info.lb) << " <= ";
+      os << lp_number(info.lb) << " <= ";
     }
     os << var_name(model, v);
-    if (!std::isinf(info.ub)) os << " <= " << trim_double(info.ub);
+    if (!std::isinf(info.ub)) os << " <= " << lp_number(info.ub);
     os << "\n";
   }
   bool have_general = false, have_binary = false;

@@ -139,8 +139,11 @@ bool Propagator::process_constraint(int c, Domains& domains,
   const bool need_ge =
       cc.sense == Sense::kGreaterEqual || cc.sense == Sense::kEqual;
 
-  if (need_le && min_infs == 0 && min_act > cc.rhs + tol_) return false;
-  if (need_ge && max_infs == 0 && max_act < cc.rhs - tol_) return false;
+  if ((need_le && min_infs == 0 && min_act > cc.rhs + tol_) ||
+      (need_ge && max_infs == 0 && max_act < cc.rhs - tol_)) {
+    if (log_ != nullptr) log_->conflict_row = c;
+    return false;
+  }
 
   // Tighten each variable from the residual activity of the others.
   for (int k = 0; k < len; ++k) {
@@ -169,7 +172,13 @@ bool Propagator::process_constraint(int c, Domains& domains,
       }
       if (changed) {
         ++stats.bounds_tightened;
-        if (domains.lb(v) > domains.ub(v) + tol_) return false;
+        if (log_ != nullptr) {
+          log_->derivations.push_back({c, v, /*is_lb=*/a <= 0.0});
+        }
+        if (domains.lb(v) > domains.ub(v) + tol_) {
+          if (log_ != nullptr) log_->conflict_var = v;
+          return false;
+        }
         if (domains.ub(v) - domains.lb(v) <= tol_) ++stats.vars_fixed;
         enqueue_var(v);
       }
@@ -189,7 +198,13 @@ bool Propagator::process_constraint(int c, Domains& domains,
       }
       if (changed) {
         ++stats.bounds_tightened;
-        if (domains.lb(v) > domains.ub(v) + tol_) return false;
+        if (log_ != nullptr) {
+          log_->derivations.push_back({c, v, /*is_lb=*/a > 0.0});
+        }
+        if (domains.lb(v) > domains.ub(v) + tol_) {
+          if (log_ != nullptr) log_->conflict_var = v;
+          return false;
+        }
         if (domains.ub(v) - domains.lb(v) <= tol_) ++stats.vars_fixed;
         enqueue_var(v);
       }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "milp/certificate.hpp"
 #include "milp/compiled.hpp"
 #include "milp/types.hpp"
 
@@ -74,6 +75,12 @@ class Propagator {
   bool propagate(Domains& domains, const std::vector<VarId>& seed_vars,
                  PropagationStats& stats);
 
+  /// Installs a derivation log (nullptr to detach). While attached, every
+  /// bound tightening appends a Derivation and a conflict records its row or
+  /// emptied variable, giving the certificate checker a replayable trace.
+  /// The caller clears the log between propagate() calls.
+  void set_log(DerivationLog* log) { log_ = log; }
+
  private:
   bool process_constraint(int c, Domains& domains, PropagationStats& stats);
   void enqueue_var(VarId v);
@@ -82,6 +89,7 @@ class Propagator {
   const CompiledModel& model_;
   double tol_;
   int max_rounds_;
+  DerivationLog* log_ = nullptr;
   std::vector<std::int32_t> queue_;
   std::vector<bool> in_queue_;
 };

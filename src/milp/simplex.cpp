@@ -35,6 +35,7 @@ class SimplexTableau {
  public:
   SimplexTableau(const LpProblem& problem, const LpParams& params)
       : params_(params),
+        problem_(problem),
         m_(problem.num_rows()),
         n_struct_(problem.num_vars()) {
     build(problem);
@@ -61,8 +62,12 @@ class SimplexTableau {
   /// wrong (NaN comparisons silently read as "optimal"), so callers bail out
   /// with kNumericalFailure instead.
   bool state_is_finite() const;
+  /// Reads the phase-1 dual ray off the slack reduced costs and attaches it
+  /// as a Farkas certificate when a float pre-check orients it successfully.
+  void attach_farkas(LpResult& result);
 
   const LpParams& params_;
+  const LpProblem& problem_;
   int m_ = 0;         ///< number of rows
   int n_struct_ = 0;  ///< structural variables
   int ncols_ = 0;     ///< structural + slack + artificial columns
@@ -403,6 +408,77 @@ void SimplexTableau::extract(LpResult& result) const {
   result.objective = obj;
 }
 
+void SimplexTableau::attach_farkas(LpResult& result) {
+  // Phase-1 duals live in the slack reduced costs: slack k's column is
+  // D_k e_k (D the row-flip signs applied in build()), so with y = c_B B^-1,
+  // d_slack_k = 0 - y_k D_k, i.e. the multiplier of original row k is
+  // +-d_slack_k. Refresh first — the incrementally-updated cost row drifts.
+  compute_reduced_costs();
+  ++refactorizations_;
+  if (!state_is_finite()) return;
+  std::vector<double> ray(static_cast<std::size_t>(m_));
+  double scale = 0.0;
+  for (int k = 0; k < m_; ++k) {
+    ray[static_cast<std::size_t>(k)] = d_[static_cast<std::size_t>(n_struct_ + k)];
+    scale = std::max(scale, std::abs(ray[static_cast<std::size_t>(k)]));
+  }
+  if (scale == 0.0) return;
+  // The overall sign of the ray depends on conventions that are easy to get
+  // wrong and on which phase-1 exit we came through; try both orientations
+  // against a float evaluation of the Farkas condition and keep the one that
+  // works. The exact checker (milp/certify) is authoritative either way.
+  for (const double orient : {1.0, -1.0}) {
+    std::vector<double> y(static_cast<std::size_t>(m_));
+    bool signs_ok = true;
+    for (int k = 0; k < m_ && signs_ok; ++k) {
+      double v = orient * ray[static_cast<std::size_t>(k)];
+      const Sense sense = problem_.rows[static_cast<std::size_t>(k)].sense;
+      if ((sense == Sense::kLessEqual && v < 0.0) ||
+          (sense == Sense::kGreaterEqual && v > 0.0)) {
+        // Clamp roundoff-level sign violations; reject real ones.
+        if (std::abs(v) <= 1e-7 * scale) {
+          v = 0.0;
+        } else {
+          signs_ok = false;
+        }
+      }
+      y[static_cast<std::size_t>(k)] = v;
+    }
+    if (!signs_ok) continue;
+    // Aggregate w = sum y_k a_k and its box-minimum over the variable
+    // bounds; infeasibility needs min > y.b strictly.
+    std::vector<double> w(static_cast<std::size_t>(n_struct_), 0.0);
+    double yb = 0.0;
+    for (int k = 0; k < m_; ++k) {
+      const double yk = y[static_cast<std::size_t>(k)];
+      if (yk == 0.0) continue;
+      const auto& row = problem_.rows[static_cast<std::size_t>(k)];
+      for (const LinTerm& term : row.terms) {
+        w[static_cast<std::size_t>(term.var)] += yk * term.coef;
+      }
+      yb += yk * row.rhs;
+    }
+    double box_min = 0.0;
+    bool finite = true;
+    for (int j = 0; j < n_struct_ && finite; ++j) {
+      const double wj = w[static_cast<std::size_t>(j)];
+      if (wj == 0.0) continue;
+      const double bound = wj > 0.0 ? problem_.lb[static_cast<std::size_t>(j)]
+                                    : problem_.ub[static_cast<std::size_t>(j)];
+      if (!std::isfinite(bound)) {
+        finite = false;
+      } else {
+        box_min += wj * bound;
+      }
+    }
+    if (finite && box_min > yb) {
+      result.certificate.kind = LpCertificate::Kind::kFarkas;
+      result.certificate.y = std::move(y);
+      return;
+    }
+  }
+}
+
 LpResult SimplexTableau::run() {
   LpResult result = run_phases();
   result.iterations = iterations_;
@@ -456,6 +532,7 @@ LpResult SimplexTableau::run_phases() {
         if (infeasibility_sum() > 1e3 * params_.feasibility_tol) {
           result.status = LpStatus::kInfeasible;
           result.iterations = iterations_;
+          if (params_.want_certificate) attach_farkas(result);
           return result;
         }
         set_phase(2);
@@ -478,6 +555,7 @@ LpResult SimplexTableau::run_phases() {
       result.status =
           phase_ == 1 ? LpStatus::kInfeasible : LpStatus::kUnbounded;
       result.iterations = iterations_;
+      if (phase_ == 1 && params_.want_certificate) attach_farkas(result);
       return result;
     }
     stall = progress ? 0 : stall + 1;
@@ -536,6 +614,10 @@ LpResult solve_lp(const LpProblem& problem, const LpParams& params) {
         problem.ub[static_cast<std::size_t>(j)] + params.feasibility_tol) {
       LpResult result;
       result.status = LpStatus::kInfeasible;
+      if (params.want_certificate) {
+        result.certificate.kind = LpCertificate::Kind::kEmptyBound;
+        result.certificate.var = j;
+      }
       return result;
     }
   }
@@ -564,6 +646,13 @@ LpResult solve_lp(const LpProblem& problem, const LpParams& params) {
     result.pivots += prior.pivots;
     result.refactorizations += prior.refactorizations;
     result.recoveries = attempt;
+  }
+  if (result.certificate.kind == LpCertificate::Kind::kFarkas &&
+      SPARCS_FAILPOINT("milp.certify.corrupt_ray")) {
+    // Zero the dual ray: the aggregated Farkas product degenerates to
+    // 0 > 0, so the exact checker must reject it — exercising the
+    // distrust-and-retry demotion path end-to-end.
+    std::fill(result.certificate.y.begin(), result.certificate.y.end(), 0.0);
   }
   return result;
 }

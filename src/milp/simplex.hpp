@@ -70,6 +70,12 @@ struct LpParams {
   /// with kIterationLimit. Lets a deadline or cancellation unwind from
   /// inside a long LP run instead of waiting for the next node boundary.
   std::function<bool()> should_abort;
+
+  /// On an infeasible verdict, extract a Farkas dual ray from the phase-1
+  /// tableau into LpResult::certificate (best-effort: extraction can fail,
+  /// leaving Kind::kNone). Costs one reduced-cost refresh per infeasible
+  /// solve and nothing on any other path.
+  bool want_certificate = false;
 };
 
 /// Solves the LP with the two-phase bounded-variable simplex.

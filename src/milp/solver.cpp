@@ -3,12 +3,54 @@
 #include <utility>
 
 #include "milp/branch_and_bound.hpp"
+#include "milp/certify.hpp"
+#include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/span.hpp"
 #include "support/telemetry.hpp"
 
 namespace sparcs::milp {
 namespace {
+
+/// Runs the exact certificate check matching the solution's verdict, stamping
+/// `certified` / `certify_detail` and the check counters. Statuses that make
+/// no certifiable claim (limits, cancellation, unbounded, numerical failure)
+/// keep kNotRequested.
+void certify_verdict(const Model& model, const SolverParams& params,
+                     MilpSolution& solution) {
+  solution.certified = CertifyStatus::kNotRequested;
+  solution.certify_detail.clear();
+  if (params.certify == CertifyMode::kOff) return;
+
+  const bool feasible_verdict = (solution.status == SolveStatus::kOptimal ||
+                                 solution.status == SolveStatus::kFeasible) &&
+                                !solution.values.empty();
+  const bool infeasible_verdict =
+      solution.status == SolveStatus::kInfeasible &&
+      params.certify == CertifyMode::kFull;
+
+  if (feasible_verdict) {
+    ++solution.stats.certificates_checked;
+    const CertifyCheck check = certify_feasible(model, solution.values);
+    solution.certified =
+        check.ok ? CertifyStatus::kCertified : CertifyStatus::kUncertified;
+    solution.certify_detail = check.detail;
+    if (!check.ok) ++solution.stats.certificates_failed;
+  } else if (infeasible_verdict) {
+    ++solution.stats.certificates_checked;
+    if (solution.proof == nullptr) {
+      solution.certified = CertifyStatus::kUncertified;
+      solution.certify_detail = "no infeasibility proof was recorded";
+      ++solution.stats.certificates_failed;
+      return;
+    }
+    const CertifyCheck check = certify_infeasible(model, *solution.proof);
+    solution.certified =
+        check.ok ? CertifyStatus::kCertified : CertifyStatus::kUncertified;
+    solution.certify_detail = check.detail;
+    if (!check.ok) ++solution.stats.certificates_failed;
+  }
+}
 
 /// Publishes one solve's statistics to the process-wide metrics registry.
 /// Handles are resolved once; the adds are relaxed atomics gated on the
@@ -43,6 +85,13 @@ void export_to_registry(const MilpSolution& solution) {
       reg.counter("milp.checker_rejections");
   static metrics::Counter& alloc_failures =
       reg.counter("milp.allocation_failures");
+  static metrics::Counter& cert_checked =
+      reg.counter("milp.certify.checked");
+  static metrics::Counter& cert_failed = reg.counter("milp.certify.failed");
+  static metrics::Counter& cert_retries =
+      reg.counter("milp.certify.retries");
+  static metrics::Counter& cert_uncertified =
+      reg.counter("milp.certify.uncertified");
   static metrics::Timer& solve_timer = reg.timer("milp.solve");
   static metrics::Gauge& depth_gauge = reg.gauge("milp.bnb.last_max_depth");
 
@@ -64,6 +113,10 @@ void export_to_registry(const MilpSolution& solution) {
   lp_recoveries.add(s.lp_recoveries);
   checker_rejections.add(s.checker_rejections);
   alloc_failures.add(s.allocation_failures);
+  cert_checked.add(s.certificates_checked);
+  cert_failed.add(s.certificates_failed);
+  cert_retries.add(s.certify_retries);
+  cert_uncertified.add(s.uncertified_verdicts);
   solve_timer.record(solution.seconds);
   depth_gauge.set(static_cast<double>(s.max_depth));
 }
@@ -112,7 +165,33 @@ MilpSolution Solver::solve() {
   callbacks.live = live.slot();
   callbacks.correlation = live.id();
   MilpSolution solution = solve_branch_and_bound(model_, params_, callbacks);
+  certify_verdict(model_, params_, solution);
+  if (solution.certified == CertifyStatus::kUncertified && !params_.distrust) {
+    // Distrust-and-retry: one re-solve under numerically cautious settings
+    // (Bland's rule from the start, tightened tolerances). The retry's
+    // verdict replaces the distrusted one; its stats absorb the first
+    // attempt's so the session accounts for the total work.
+    SPARCS_WLOG << "verdict " << to_string(solution.status)
+                << " failed exact certification (" << solution.certify_detail
+                << "); re-solving with distrust settings";
+    SolverParams retry_params = params_;
+    retry_params.distrust = true;
+    MilpSolution retried =
+        solve_branch_and_bound(model_, retry_params, callbacks);
+    retried.stats.merge(solution.stats);
+    retried.stats.certify_retries += 1;
+    solution = std::move(retried);
+    certify_verdict(model_, retry_params, solution);
+  }
+  if (solution.certified == CertifyStatus::kUncertified) {
+    ++solution.stats.uncertified_verdicts;
+    SPARCS_WLOG << "verdict " << to_string(solution.status)
+                << " remains uncertified: " << solution.certify_detail;
+  }
   span.arg("status", to_string(solution.status));
+  if (params_.certify != CertifyMode::kOff) {
+    span.arg("certified", to_string(solution.certified));
+  }
   span.arg("nodes", solution.stats.nodes_explored);
   span.arg("simplex_iterations", solution.stats.simplex_iterations);
   export_to_registry(solution);

@@ -30,6 +30,10 @@ std::string SolverStats::to_json() const {
   w.field("lp_recoveries", lp_recoveries);
   w.field("checker_rejections", checker_rejections);
   w.field("allocation_failures", allocation_failures);
+  w.field("certificates_checked", certificates_checked);
+  w.field("certificates_failed", certificates_failed);
+  w.field("certify_retries", certify_retries);
+  w.field("uncertified_verdicts", uncertified_verdicts);
   w.begin_array("convergence");
   for (const ConvergenceEvent& event : convergence) {
     w.begin_object();

@@ -40,6 +40,41 @@ enum class Sense : std::uint8_t {
   kEqual,
 };
 
+/// How much of the solve to certify (see milp/certificate.hpp and
+/// milp/certify.hpp for the certificate data and the exact checker).
+enum class CertifyMode : std::uint8_t {
+  kOff,         ///< trust the floating-point verdicts (no overhead)
+  kIncumbents,  ///< exact feasibility check of every returned solution
+  kFull,        ///< kIncumbents plus infeasibility proofs for kInfeasible
+};
+
+/// Certification outcome of one verdict.
+enum class CertifyStatus : std::uint8_t {
+  kNotRequested,  ///< certification off, or nothing to certify (limit/cancel)
+  kCertified,     ///< the verdict was re-established in exact arithmetic
+  kUncertified,   ///< certificate check failed even after the distrust retry
+};
+
+[[nodiscard]] const char* to_string(CertifyStatus status);
+[[nodiscard]] const char* to_string(CertifyMode mode);
+
+/// Tree-shaped infeasibility proof (milp/certificate.hpp); carried by
+/// MilpSolution behind a shared_ptr so types.hpp need not see its layout.
+struct InfeasibilityProof;
+
+/// Certificate attached to an infeasible LpResult by the simplex. The data
+/// is plain doubles — a hint for the exact checker, never trusted directly.
+struct LpCertificate {
+  enum class Kind : std::uint8_t {
+    kNone,        ///< no certificate available (extraction failed)
+    kFarkas,      ///< dual ray `y`, one multiplier per LP row
+    kEmptyBound,  ///< variable `var` arrived with lb > ub
+  };
+  Kind kind = Kind::kNone;
+  std::vector<double> y;
+  int var = -1;
+};
+
 /// Outcome of a MILP solve.
 enum class SolveStatus : std::uint8_t {
   kOptimal,       ///< search exhausted; incumbent is proven optimal
@@ -150,6 +185,16 @@ struct SolverParams {
   /// stops at the next node boundary and returns kLimitReached (or kFeasible
   /// when an incumbent is already in hand). Inert by default.
   CancelToken cancel;
+
+  /// Certify verdicts in exact rational arithmetic (milp/certify). A failed
+  /// check triggers one distrust re-solve; see Solver::solve().
+  CertifyMode certify = CertifyMode::kOff;
+
+  /// Distrust mode, set internally by the certification retry: the simplex
+  /// runs Bland's rule from the first iteration and the solver tightens its
+  /// tolerances, trading speed for the numerical caution that usually makes
+  /// the second certificate check pass.
+  bool distrust = false;
 };
 
 /// One timestamped event on a solve's convergence timeline: an accepted
@@ -198,6 +243,12 @@ struct SolverStats {
   std::int64_t checker_rejections = 0;   ///< incumbents rejected by validation
   std::int64_t allocation_failures = 0;  ///< nodes rolled back on bad_alloc
 
+  // Certification (exact rational verdict checking, milp/certify).
+  std::int64_t certificates_checked = 0;  ///< exact checks performed
+  std::int64_t certificates_failed = 0;   ///< checks that did not verify
+  std::int64_t certify_retries = 0;       ///< distrust re-solves triggered
+  std::int64_t uncertified_verdicts = 0;  ///< verdicts demoted after retry
+
   /// Incumbent/bound improvement timeline, time-ordered. Serial solves
   /// append directly; parallel solves record under the shared incumbent lock
   /// so the timeline stays time-ordered across workers.
@@ -230,6 +281,10 @@ struct SolverStats {
     lp_recoveries += other.lp_recoveries;
     checker_rejections += other.checker_rejections;
     allocation_failures += other.allocation_failures;
+    certificates_checked += other.certificates_checked;
+    certificates_failed += other.certificates_failed;
+    certify_retries += other.certify_retries;
+    uncertified_verdicts += other.uncertified_verdicts;
     convergence.insert(convergence.end(), other.convergence.begin(),
                        other.convergence.end());
     std::stable_sort(convergence.begin(), convergence.end(),
@@ -248,6 +303,15 @@ struct MilpSolution {
   std::int64_t propagations = 0;       ///< == stats.propagated_constraints
   double seconds = 0.0;
   SolverStats stats;                   ///< per-layer search statistics
+
+  /// Certification outcome of this verdict (kNotRequested unless
+  /// SolverParams::certify asked for it and the verdict was certifiable).
+  CertifyStatus certified = CertifyStatus::kNotRequested;
+  /// Reason of a failed certification, or a note on how it was closed.
+  std::string certify_detail;
+  /// Infeasibility proof recorded by branch & bound (kFull mode only; kept
+  /// for report/debug dumps after the exact check has consumed it).
+  std::shared_ptr<const InfeasibilityProof> proof;
 
   [[nodiscard]] bool has_solution() const {
     return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
@@ -275,6 +339,9 @@ struct LpResult {
   int refactorizations = 0;  ///< periodic reduced-cost refreshes
   int recoveries = 0;  ///< numerical-failure retries (Bland / perturbation)
                        ///< that were needed to produce this result
+  /// Infeasibility certificate (LpParams::want_certificate; kNone otherwise
+  /// or when extraction failed — never required to be present).
+  LpCertificate certificate;
 };
 
 }  // namespace sparcs::milp

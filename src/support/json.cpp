@@ -1,6 +1,7 @@
 #include "support/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cstdlib>
 
 namespace sparcs::json {
@@ -252,8 +253,19 @@ class Parser {
       fail("expected a value");
       return false;
     }
+    // Locale-independent parse: strtod honours LC_NUMERIC, so a process
+    // running under e.g. de_DE would misread "1.5". std::from_chars is
+    // always "C"-locale. Fallback: from_chars reports out-of-range
+    // magnitudes as an error where strtod clamps to +-inf/0 — keep the
+    // clamping behaviour for those rare literals.
     const std::string token(text_.substr(start, pos_ - start));
-    out = Value::make_number(std::strtod(token.c_str(), nullptr));
+    double number = 0.0;
+    const std::from_chars_result res =
+        std::from_chars(token.data(), token.data() + token.size(), number);
+    if (res.ec != std::errc() || res.ptr != token.data() + token.size()) {
+      number = std::strtod(token.c_str(), nullptr);
+    }
+    out = Value::make_number(number);
     return true;
   }
 

@@ -49,6 +49,45 @@ TEST(LpRoundTripTest, PreservesOptimum) {
   EXPECT_NEAR(s1.objective, s2.objective, 1e-6);
 }
 
+TEST(LpRoundTripTest, PreservesCoefficientsBitExactly) {
+  // Coefficients with no short decimal representation: the writer must emit
+  // the shortest round-trip form (std::to_chars) so the reloaded model is
+  // bit-identical, not merely close. A fixed-precision trim would perturb
+  // every one of these.
+  Model m("precision");
+  const VarId x = m.add_continuous(1.0 / 3.0, 1e7 + 0.25, "x");
+  const VarId y = m.add_continuous(-2.0, 12.0, "y");
+  m.add_constraint(0.1 * LinExpr(x) + 2e-7 * LinExpr(y) <= 1e-9, "tiny");
+  m.add_constraint((1.0 / 3.0) * LinExpr(x) - 1.2345678901234567 * LinExpr(y) >=
+                       -3.0000000000000004,
+                   "dense");
+  m.set_objective(0.30000000000000004 * LinExpr(x) + 1e22 * LinExpr(y));
+
+  const Model parsed = read_lp_string(to_lp_string(m));
+  ASSERT_EQ(parsed.num_vars(), m.num_vars());
+  ASSERT_EQ(parsed.num_constraints(), m.num_constraints());
+  for (VarId v = 0; v < m.num_vars(); ++v) {
+    EXPECT_EQ(parsed.var(v).lb, m.var(v).lb) << "lb of var " << v;
+    EXPECT_EQ(parsed.var(v).ub, m.var(v).ub) << "ub of var " << v;
+  }
+  for (ConstraintId c = 0; c < m.num_constraints(); ++c) {
+    const ConstraintInfo& a = m.constraint(c);
+    const ConstraintInfo& b = parsed.constraint(c);
+    EXPECT_EQ(b.rhs, a.rhs) << "rhs of row " << c;
+    ASSERT_EQ(b.terms.size(), a.terms.size());
+    for (std::size_t t = 0; t < a.terms.size(); ++t) {
+      EXPECT_EQ(b.terms[t].coef, a.terms[t].coef)
+          << "row " << c << " term " << t;
+    }
+  }
+  ASSERT_EQ(parsed.objective().terms().size(), m.objective().terms().size());
+  for (std::size_t t = 0; t < m.objective().terms().size(); ++t) {
+    EXPECT_EQ(parsed.objective().terms()[t].coef,
+              m.objective().terms()[t].coef)
+        << "objective term " << t;
+  }
+}
+
 TEST(LpReaderTest, ParsesHandwrittenModel) {
   const Model m = read_lp_string(R"(\ demo
 Maximize
