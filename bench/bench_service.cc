@@ -1,0 +1,180 @@
+// Closed-loop microbenchmark of the solve service over a real unix socket:
+// end-to-end submit+result round trips (the AR-filter workload of Table 1 on
+// the paper's small device), protocol-only round trips, and two-client
+// concurrent throughput. Latency percentiles are computed manually from the
+// recorded per-request round trips and exposed as counters (p50/p95/p99 in
+// milliseconds) alongside google-benchmark's own timing.
+#include <benchmark/benchmark.h>
+
+#include <stdlib.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "support/logging.hpp"
+
+namespace sparcs::bench {
+namespace {
+
+/// One daemon for the lifetime of a benchmark run, serving on a socket in a
+/// fresh temp dir (no artifact dir: the bench measures the service, not the
+/// filesystem).
+class ServiceHarness {
+ public:
+  explicit ServiceHarness(int workers) {
+    set_log_level(LogLevel::kError);
+    char tmpl[] = "/tmp/sparcs_bench_service_XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) std::abort();
+    dir_ = tmpl;
+    service::ServerOptions options;
+    options.socket_path = dir_ + "/solve.sock";
+    options.num_workers = workers;
+    options.max_queue_depth = 64;
+    server_ = std::make_unique<service::Server>(std::move(options));
+    thread_ = std::thread([this] { server_->serve(); });
+    while (!server_->listening()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ServiceHarness(const ServiceHarness&) = delete;
+  ServiceHarness& operator=(const ServiceHarness&) = delete;
+  ~ServiceHarness() {
+    server_->request_shutdown();
+    thread_.join();
+    std::filesystem::remove_all(dir_);
+  }
+
+  [[nodiscard]] std::string socket_path() const { return dir_ + "/solve.sock"; }
+
+ private:
+  std::string dir_;
+  std::unique_ptr<service::Server> server_;
+  std::thread thread_;
+};
+
+/// Table-1 AR-filter submission on the paper's small device (Rmax=200 CLB,
+/// Mmax=64, Ct=50 ns, delta=20 ns).
+service::Request ar_submit() {
+  service::Request request;
+  request.op = "submit";
+  request.submit.workload = "ar";
+  request.submit.rmax = 200.0;
+  request.submit.mmax = 64.0;
+  request.submit.ct = 50.0;
+  request.submit.delta = 20.0;
+  return request;
+}
+
+/// One closed-loop submit -> result(wait) round trip; returns the job's
+/// terminal response line.
+std::string solve_round_trip(service::Client& client) {
+  const std::string admitted = client.call(ar_submit());
+  const std::size_t key = admitted.find("\"job\": \"");
+  if (key == std::string::npos) std::abort();  // rejected: bench bug
+  const std::size_t begin = key + 8;
+  service::Request result;
+  result.op = "result";
+  result.job = admitted.substr(begin, admitted.find('"', begin) - begin);
+  result.wait = true;
+  return client.call(result);
+}
+
+void report_percentiles(benchmark::State& state,
+                        std::vector<double>& latencies_ms) {
+  if (latencies_ms.empty()) return;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto at = [&](double q) {
+    const std::size_t index = std::min(
+        latencies_ms.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(latencies_ms.size())));
+    return latencies_ms[index];
+  };
+  state.counters["p50_ms"] = at(0.50);
+  state.counters["p95_ms"] = at(0.95);
+  state.counters["p99_ms"] = at(0.99);
+}
+
+/// Closed loop, one client: every iteration is a full solve round trip.
+void BM_ServiceSolveRoundTrip(benchmark::State& state) {
+  const ServiceHarness harness(/*workers=*/2);
+  service::Client client(harness.socket_path());
+  std::vector<double> latencies_ms;
+  for (auto _ : state) {
+    const auto begin = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(solve_round_trip(client));
+    const auto end = std::chrono::steady_clock::now();
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - begin).count());
+  }
+  report_percentiles(state, latencies_ms);
+  state.counters["jobs_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+// UseRealTime: the solve happens on the daemon's worker threads, so CPU time
+// in this process is meaningless for the rate counters.
+BENCHMARK(BM_ServiceSolveRoundTrip)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Protocol floor: a list round trip measures framing + dispatch + response
+/// with no solver work behind it.
+void BM_ServiceListRoundTrip(benchmark::State& state) {
+  const ServiceHarness harness(/*workers=*/1);
+  service::Client client(harness.socket_path());
+  service::Request list;
+  list.op = "list";
+  std::vector<double> latencies_ms;
+  for (auto _ : state) {
+    const auto begin = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(client.call(list));
+    const auto end = std::chrono::steady_clock::now();
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - begin).count());
+  }
+  report_percentiles(state, latencies_ms);
+}
+BENCHMARK(BM_ServiceListRoundTrip)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+/// Two closed-loop clients against a two-worker daemon: each iteration
+/// completes 2 x kJobsPerClient jobs, exercising the queue and the
+/// connection handlers concurrently.
+void BM_ServiceTwoClientThroughput(benchmark::State& state) {
+  const ServiceHarness harness(/*workers=*/2);
+  constexpr int kJobsPerClient = 4;
+  std::int64_t jobs = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(2);
+    for (int c = 0; c < 2; ++c) {
+      clients.emplace_back([&harness] {
+        service::Client client(harness.socket_path());
+        for (int i = 0; i < kJobsPerClient; ++i) {
+          benchmark::DoNotOptimize(solve_round_trip(client));
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    jobs += 2 * kJobsPerClient;
+  }
+  state.counters["jobs_per_sec"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServiceTwoClientThroughput)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace sparcs::bench
+
+BENCHMARK_MAIN();

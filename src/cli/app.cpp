@@ -3,6 +3,7 @@
 #include <atomic>
 #include <csignal>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -14,7 +15,11 @@
 #include "io/table.hpp"
 #include "io/tg_format.hpp"
 #include "milp/types.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "sim/executor.hpp"
+#include "support/json.hpp"
 #include "support/atomic_file.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
@@ -251,11 +256,23 @@ graph::TaskGraph builtin_workload(const std::string& name) {
 /// destructor finalizes as a backstop when an exception unwinds past it).
 /// Restores the disabled state on every exit path so repeated in-process
 /// runs (tests, library embedding) start clean.
+///
+/// Sharing rules: every subsystem this guard touches — the metrics registry,
+/// the trace recorder, the sampler, the search-tree recorder, the *global*
+/// JSON log sink (set_json_log_sink) and reset_pipeline() — is process-global
+/// state; there is exactly one observability pipeline per process. Guards are
+/// therefore serialized on a process-wide mutex held from construction until
+/// finalize(): concurrent in-process run() calls (tests, embedders) queue
+/// here instead of interleaving resets and sink swaps mid-run. Code that
+/// needs concurrent per-run observability must not use this guard — the
+/// solve service attaches per-job correlation-routed log sinks
+/// (add_correlation_json_log_sink) and per-job artifacts instead.
 class ObservabilityGuard {
  public:
   ObservabilityGuard(const Arguments& parsed, std::ostream& out,
                      std::ostream& err)
-      : metrics_file_(parsed.metrics_json_file),
+      : lock_(pipeline_mutex()),
+        metrics_file_(parsed.metrics_json_file),
         trace_file_(parsed.trace_json_file),
         telemetry_file_(parsed.telemetry_jsonl_file),
         tree_json_file_(parsed.search_tree_json_file),
@@ -384,10 +401,18 @@ class ObservabilityGuard {
     if (activated_telemetry_) telemetry::set_active(false);
     telemetry::reset_pipeline();
     finalize_ok_ = ok;
+    lock_.unlock();
     return ok;
   }
 
  private:
+  /// Leaked (never destroyed) so guards in static-teardown paths stay safe.
+  static std::mutex& pipeline_mutex() {
+    static std::mutex* mu = new std::mutex;
+    return *mu;
+  }
+
+  std::unique_lock<std::mutex> lock_;
   std::string metrics_file_;
   std::string trace_file_;
   std::string telemetry_file_;
@@ -405,11 +430,252 @@ class ObservabilityGuard {
   bool finalize_ok_ = true;
 };
 
+// ---------------------------------------------------------------------------
+// Solve service: daemon mode (--serve) and the client verbs.
+// ---------------------------------------------------------------------------
+
+struct ServeArguments {
+  std::string socket_path;
+  int workers = 2;
+  int queue_depth = 16;
+  double memory_mb = 4096.0;
+  std::string artifact_dir;
+  int threads_per_job = 1;
+  bool quiet = false;
+  std::optional<LogLevel> log_level;
+};
+
+ServeArguments parse_serve_args(const std::vector<std::string>& args) {
+  ServeArguments parsed;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> const std::string& {
+      SPARCS_REQUIRE(i + 1 < args.size(), arg + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--serve") {
+      parsed.socket_path = value();
+    } else if (arg == "--serve-workers") {
+      parsed.workers = std::stoi(value());
+      SPARCS_REQUIRE(parsed.workers >= 0, "--serve-workers must be >= 0");
+    } else if (arg == "--serve-queue-depth") {
+      parsed.queue_depth = std::stoi(value());
+      SPARCS_REQUIRE(parsed.queue_depth > 0,
+                     "--serve-queue-depth must be > 0");
+    } else if (arg == "--serve-memory-mb") {
+      parsed.memory_mb = std::stod(value());
+      SPARCS_REQUIRE(parsed.memory_mb > 0.0, "--serve-memory-mb must be > 0");
+    } else if (arg == "--serve-artifact-dir") {
+      parsed.artifact_dir = value();
+    } else if (arg == "--serve-threads-per-job") {
+      parsed.threads_per_job = std::stoi(value());
+      SPARCS_REQUIRE(parsed.threads_per_job >= 0,
+                     "--serve-threads-per-job must be >= 0");
+    } else if (arg == "--log-level") {
+      parsed.log_level = parse_log_level(value());
+    } else if (arg == "--quiet") {
+      parsed.quiet = true;
+    } else {
+      SPARCS_REQUIRE(false, "unknown --serve option " + arg);
+    }
+  }
+  SPARCS_REQUIRE(!parsed.socket_path.empty(), "--serve needs a socket path");
+  return parsed;
+}
+
+int run_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  const ServeArguments parsed = parse_serve_args(args);
+  // The daemon defaults to kInfo: job lifecycle messages are its primary
+  // human-facing output (clients get JSON responses, not this stream).
+  set_log_level(parsed.log_level.value_or(parsed.quiet ? LogLevel::kError
+                                                       : LogLevel::kInfo));
+
+  service::ServerOptions options;
+  options.socket_path = parsed.socket_path;
+  options.num_workers = parsed.workers;
+  options.max_queue_depth = parsed.queue_depth;
+  options.max_est_memory_mb = parsed.memory_mb;
+  options.artifact_dir = parsed.artifact_dir;
+  options.threads_per_job = parsed.threads_per_job;
+  options.stop = milp::CancelToken::create();
+
+  // SIGINT/SIGTERM trip the server's stop token: the accept loop notices,
+  // preempts in-flight jobs through their cancel tokens (running sweeps land
+  // checkpoints and reports on the way out) and returns cleanly.
+  SignalGuard signals(options.stop);
+  out << "serving on " << parsed.socket_path << "\n";
+  service::Server server(std::move(options));
+  const int code = server.serve();
+  if (SignalGuard::preempted()) {
+    err << "shut down by " << SignalGuard::signal_name()
+        << ": in-flight jobs preempted, artifacts flushed\n";
+  }
+  return code;
+}
+
+bool is_client_verb(const std::string& arg) {
+  return arg == "submit" || arg == "status" || arg == "result" ||
+         arg == "cancel" || arg == "list" || arg == "shutdown";
+}
+
+struct ClientArguments {
+  std::string verb;
+  std::string socket_path;
+  std::string job;
+  bool wait = false;
+  service::SubmitRequest submit;
+  std::string input_file;  ///< .tg file read client-side into graph_text
+};
+
+ClientArguments parse_client_args(const std::vector<std::string>& args) {
+  ClientArguments parsed;
+  parsed.verb = args[0];
+  parsed.submit.threads = 0;  // server default unless --threads is given
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> const std::string& {
+      SPARCS_REQUIRE(i + 1 < args.size(), arg + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--socket") {
+      parsed.socket_path = value();
+    } else if (arg == "--job") {
+      parsed.job = value();
+    } else if (arg == "--wait") {
+      parsed.wait = true;
+    } else if (arg == "--priority") {
+      parsed.submit.priority = std::stoi(value());
+    } else if (arg == "--detach") {
+      parsed.submit.detach = true;
+    } else if (arg == "--workload") {
+      parsed.submit.workload = value();
+    } else if (arg == "--rmax") {
+      parsed.submit.rmax = std::stod(value());
+    } else if (arg == "--mmax") {
+      parsed.submit.mmax = std::stod(value());
+    } else if (arg == "--ct") {
+      parsed.submit.ct = std::stod(value());
+    } else if (arg == "--delta") {
+      parsed.submit.delta = std::stod(value());
+    } else if (arg == "--alpha") {
+      parsed.submit.alpha = std::stoi(value());
+    } else if (arg == "--gamma") {
+      parsed.submit.gamma = std::stoi(value());
+    } else if (arg == "--time-limit") {
+      parsed.submit.time_limit_sec = std::stod(value());
+    } else if (arg == "--deadline-sec") {
+      parsed.submit.deadline_sec = std::stod(value());
+    } else if (arg == "--threads") {
+      parsed.submit.threads = std::stoi(value());
+    } else if (arg == "--certify") {
+      parsed.submit.certify = value();
+    } else if (arg == "--no-checkpoint") {
+      parsed.submit.checkpoint = false;
+    } else if (arg == "--est-memory-mb") {
+      parsed.submit.est_memory_mb = std::stod(value());
+    } else if (!arg.empty() && arg[0] == '-') {
+      SPARCS_REQUIRE(false, "unknown " + parsed.verb + " option " + arg);
+    } else {
+      SPARCS_REQUIRE(parsed.input_file.empty(), "multiple input files given");
+      parsed.input_file = arg;
+    }
+  }
+  SPARCS_REQUIRE(!parsed.socket_path.empty(),
+                 parsed.verb + " needs --socket PATH");
+  if (parsed.verb == "submit") {
+    SPARCS_REQUIRE(parsed.input_file.empty() != parsed.submit.workload.empty(),
+                   "submit needs exactly one of <graph.tg> or --workload");
+  } else {
+    SPARCS_REQUIRE(parsed.input_file.empty() && parsed.submit.workload.empty(),
+                   parsed.verb + " takes no graph argument");
+  }
+  if (parsed.verb == "status" || parsed.verb == "result" ||
+      parsed.verb == "cancel") {
+    SPARCS_REQUIRE(!parsed.job.empty(), parsed.verb + " needs --job ID");
+  }
+  return parsed;
+}
+
+/// Maps one response line to a process exit code: admission rejections get
+/// their own code (8) so scripts can distinguish backpressure from a bad
+/// request, and a terminal job result carries the exit code the equivalent
+/// one-shot run would have returned.
+int client_exit_code(const json::Value& response) {
+  if (!response.member_bool("ok")) {
+    const json::Value* error = response.find("error");
+    const std::string code =
+        error != nullptr ? error->member_string("code") : "";
+    if (code == "queue_full" || code == "memory_limit" ||
+        code == "shutting_down") {
+      return 8;
+    }
+    return 4;
+  }
+  const json::Value* exit_code = response.find("exit_code");
+  if (exit_code != nullptr) return static_cast<int>(exit_code->as_int());
+  return 0;
+}
+
+int run_client(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  const ClientArguments parsed = parse_client_args(args);
+  set_log_level(LogLevel::kWarning);
+
+  service::Request request;
+  request.op = parsed.verb;
+  request.job = parsed.job;
+  request.wait = parsed.wait && parsed.verb == "result";
+  if (parsed.verb == "submit") {
+    request.submit = parsed.submit;
+    if (!parsed.input_file.empty()) {
+      std::ifstream file(parsed.input_file);
+      SPARCS_REQUIRE(file.good(), "cannot open " + parsed.input_file);
+      std::ostringstream text;
+      text << file.rdbuf();
+      request.submit.graph_text = text.str();
+    }
+  }
+
+  service::Client client(parsed.socket_path);
+  std::string line = client.call(request);
+  out << line << "\n";
+  json::ParseResult response = json::parse(line);
+  if (!response.ok) {
+    err << "error: malformed response from the service: " << response.error
+        << "\n";
+    return 4;
+  }
+  // submit --wait blocks on the same connection for the job's terminal
+  // result and prints it as a second response line, so one command covers
+  // the submit-then-collect loop (and keeps the connection open — closing
+  // it would cancel the job we are waiting on).
+  if (parsed.verb == "submit" && parsed.wait &&
+      response.value.member_bool("ok")) {
+    service::Request result_request;
+    result_request.op = "result";
+    result_request.job = response.value.member_string("job");
+    result_request.wait = true;
+    line = client.call(result_request);
+    out << line << "\n";
+    response = json::parse(line);
+    if (!response.ok) {
+      err << "error: malformed response from the service: " << response.error
+          << "\n";
+      return 4;
+    }
+  }
+  return client_exit_code(response.value);
+}
+
 }  // namespace
 
 std::string usage() {
   return R"(usage: sparcs-tp <graph.tg> [options]
        sparcs-tp --workload {ar|dct|ewf} [options]
+       sparcs-tp --serve SOCKET [service options]
+       sparcs-tp {submit|status|result|cancel|list|shutdown} --socket SOCKET
+                 [client options]
 
 options:
   --rmax R --mmax M --ct CT  device parameters (override the file's device)
@@ -466,10 +732,45 @@ options:
                              the iteration trace table (the --*-json files are
                              still written)
 
+service (daemon):
+  --serve SOCKET             run as a persistent solve service on a unix
+                             socket: line-delimited JSON requests (submit,
+                             status, result, cancel, list, shutdown), a
+                             bounded priority job queue with admission
+                             control, and a shared solver worker pool
+  --serve-workers N          concurrent solver workers (default 2)
+  --serve-queue-depth N      max queued jobs before submits are rejected
+                             with queue_full (default 16)
+  --serve-memory-mb X        summed per-job memory-estimate ceiling before
+                             submits are rejected with memory_limit
+                             (default 4096)
+  --serve-artifact-dir DIR   land per-job artifacts here (<job>.report.json,
+                             <job>.ckpt, <job>.logs.jsonl); omit to keep
+                             results in memory only
+  --serve-threads-per-job N  default solver threads per job (default 1)
+
+service (client verbs; all print the raw JSON response to stdout):
+  submit {<graph.tg>|--workload W} [--priority N] [--detach] [--wait]
+         [solve options: --rmax/--mmax/--ct/--delta/--alpha/--gamma/
+          --time-limit/--deadline-sec/--threads/--certify/--no-checkpoint/
+          --est-memory-mb]
+                             queue one job; --wait blocks for its terminal
+                             result (a second response line) and exits with
+                             the job's one-shot-equivalent exit code; without
+                             --detach, closing the connection cancels the job
+  status --job ID            one job's live state
+  result --job ID [--wait]   a terminal job's full report
+  cancel --job ID            cancel a queued or running job
+  list                       queue depth, running jobs, admission headroom
+  shutdown                   graceful daemon shutdown (in-flight jobs are
+                             preempted through their checkpoint path)
+
 signals:
   SIGINT/SIGTERM preempt the run gracefully: the in-flight solve cancels
   cooperatively, the best incumbent so far is reported, and the final
   checkpoint plus all artifact files are flushed before exiting with code 5.
+  A daemon (--serve) shuts down the same way: queued jobs cancel, running
+  jobs preempt and land their artifacts, then the socket is unlinked.
 
 exit codes:
   0  success (converged result)
@@ -483,6 +784,8 @@ exit codes:
   7  uncertified: with --certify, at least one solver verdict failed its
      exact certificate check even after the distrust re-solve (the report
      marks the affected probes; printed results are conservative)
+  8  rejected: the solve service refused the submission (queue_full,
+     memory_limit or shutting_down; the response's error.code says which)
 )";
 }
 
@@ -490,6 +793,17 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   if (args.empty()) {
     err << usage();
+    return 4;
+  }
+  // Service modes peel off before the one-shot path: a client verb as the
+  // first argument, or --serve anywhere, select them.
+  try {
+    if (is_client_verb(args[0])) return run_client(args, out, err);
+    for (const std::string& arg : args) {
+      if (arg == "--serve") return run_serve(args, out, err);
+    }
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n" << usage();
     return 4;
   }
   try {

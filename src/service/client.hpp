@@ -1,0 +1,40 @@
+// Blocking client of the solve service: connects to the daemon's unix
+// socket and exchanges one protocol line per call. Used by the CLI's client
+// verbs (sparcs-tp submit/status/result/cancel/list/shutdown), the service
+// tests and bench_service; thin by design — connection management and
+// line framing live here, request construction lives in service/protocol.
+#pragma once
+
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace sparcs::service {
+
+class Client {
+ public:
+  /// Connects to the daemon at `socket_path`; throws sparcs::Error when no
+  /// daemon answers (missing socket file, connection refused).
+  explicit Client(const std::string& socket_path);
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request and blocks for its response line (responses arrive in
+  /// request order, so pipelined callers can issue call() back to back).
+  /// Returns the raw response JSON (no trailing newline); throws
+  /// sparcs::Error when the daemon hangs up mid-exchange.
+  std::string call(const Request& request);
+
+  /// call() plus raw-line access for protocol tests (the line is sent as-is
+  /// with a newline appended).
+  std::string call_raw(const std::string& line);
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace sparcs::service

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <ostream>
 #include <string_view>
+#include <unordered_map>
 
 #include "support/report_writer.hpp"
 #include "support/telemetry.hpp"
@@ -20,6 +21,14 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
 // fputs), and reads share the mutex that serializes sink writes.
 std::mutex g_json_sink_mu;
 std::ostream* g_json_sink = nullptr;
+
+/// Correlation-routed sinks (solve service: one per job). Guarded by
+/// g_json_sink_mu like the global sink; leaked so teardown order with
+/// late-logging static destructors stays safe.
+std::unordered_map<std::uint64_t, std::ostream*>& correlation_sinks() {
+  static auto* sinks = new std::unordered_map<std::uint64_t, std::ostream*>;
+  return *sinks;
+}
 
 constexpr std::string_view level_tag(LogLevel level) {
   switch (level) {
@@ -80,6 +89,21 @@ void set_json_log_sink(std::ostream* sink) {
   g_json_sink = sink;
 }
 
+void add_correlation_json_log_sink(std::uint64_t correlation,
+                                   std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_json_sink_mu);
+  if (sink == nullptr) {
+    correlation_sinks().erase(correlation);
+  } else {
+    correlation_sinks()[correlation] = sink;
+  }
+}
+
+void remove_correlation_json_log_sink(std::uint64_t correlation) {
+  std::lock_guard<std::mutex> lock(g_json_sink_mu);
+  correlation_sinks().erase(correlation);
+}
+
 namespace detail {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -100,19 +124,30 @@ LogMessage::~LogMessage() {
   std::fputs(text.c_str(), stderr);
   {
     std::lock_guard<std::mutex> lock(g_json_sink_mu);
-    if (g_json_sink != nullptr) {
+    const std::uint64_t corr = telemetry::current_correlation_id();
+    std::ostream* corr_sink = nullptr;
+    if (corr != 0 && !correlation_sinks().empty()) {
+      const auto it = correlation_sinks().find(corr);
+      if (it != correlation_sinks().end()) corr_sink = it->second;
+    }
+    if (g_json_sink != nullptr || corr_sink != nullptr) {
       report::ReportWriter w;
       w.begin_object();
       w.field("t_sec", elapsed_seconds());
       w.field("level", std::string(level_name(level_)));
       w.field("file", std::string(file));
       w.field("line", static_cast<std::int64_t>(line_));
-      const std::uint64_t corr = telemetry::current_correlation_id();
       if (corr != 0) w.field("corr", static_cast<std::int64_t>(corr));
       w.field("msg", message);
       w.end_object();
-      *g_json_sink << w.str() << '\n';
-      g_json_sink->flush();
+      if (g_json_sink != nullptr) {
+        *g_json_sink << w.str() << '\n';
+        g_json_sink->flush();
+      }
+      if (corr_sink != nullptr) {
+        *corr_sink << w.str() << '\n';
+        corr_sink->flush();
+      }
     }
   }
 }

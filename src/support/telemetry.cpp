@@ -38,9 +38,9 @@ std::uint64_t now_us() {
 
 // -- live solve table -------------------------------------------------------
 
-constexpr int kMaxLiveSolves = 64;
-LiveSolve g_live[kMaxLiveSolves];
+LiveSolve g_live[kLiveSolveSlots];
 std::atomic<std::int64_t> g_solves_completed{0};
+std::atomic<std::int64_t> g_slots_exhausted{0};
 
 // -- pipeline state ---------------------------------------------------------
 
@@ -156,6 +156,9 @@ void emit_sample(const char* trigger) {
     if (g_sampler_cancel.cancelled()) w.field("cancelled", true);
     w.field("solves_completed",
             g_solves_completed.load(std::memory_order_relaxed));
+    const std::int64_t exhausted =
+        g_slots_exhausted.load(std::memory_order_relaxed);
+    if (exhausted > 0) w.field("live_solve_slots_exhausted", exhausted);
     w.field("rss_kb", mem.rss_kb);
     w.field("rss_peak_kb", mem.rss_peak_kb);
     w.begin_array("solves");
@@ -300,8 +303,15 @@ SolveScope::SolveScope(const char* /*what*/) {
       break;
     }
   }
-  // Table full: the scope still carries an id (correlation keeps working),
-  // it just does not show up in sample records.
+  if (slot_ == nullptr) {
+    // Table full: degrade gracefully — the scope still carries an id
+    // (correlation, logs and spans keep working), it just does not show up
+    // in sample records. Account for the shortfall so operators can see it.
+    g_slots_exhausted.fetch_add(1, std::memory_order_relaxed);
+    static metrics::Counter& exhausted =
+        metrics::registry().counter("telemetry.live_solve.slot_exhausted");
+    exhausted.add();
+  }
 }
 
 SolveScope::~SolveScope() {
@@ -316,6 +326,18 @@ SolveScope::~SolveScope() {
 
 std::int64_t solves_completed() {
   return g_solves_completed.load(std::memory_order_relaxed);
+}
+
+std::int64_t live_solve_slots_in_use() {
+  std::int64_t in_use = 0;
+  for (LiveSolve& slot : g_live) {
+    if (slot.correlation.load(std::memory_order_acquire) != 0) ++in_use;
+  }
+  return in_use;
+}
+
+std::int64_t live_solve_slots_exhausted() {
+  return g_slots_exhausted.load(std::memory_order_relaxed);
 }
 
 void set_stage(const char* stage, int num_partitions) {
@@ -358,6 +380,7 @@ void reset_pipeline() {
   g_best_n.store(0, std::memory_order_relaxed);
   g_degraded.store(false, std::memory_order_relaxed);
   g_solves_completed.store(0, std::memory_order_relaxed);
+  g_slots_exhausted.store(0, std::memory_order_relaxed);
 }
 
 const char* to_string(NodeKind kind) {

@@ -106,6 +106,22 @@ class SolveScope {
 /// (drives the --progress line's solve counter).
 std::int64_t solves_completed();
 
+/// Capacity of the live solve table (slots are CAS-claimed per in-flight
+/// solve; scopes beyond the capacity degrade gracefully, see below).
+inline constexpr int kLiveSolveSlots = 64;
+
+/// Slots currently claimed by in-flight solves (scans the table; cheap).
+std::int64_t live_solve_slots_in_use();
+
+/// SolveScopes constructed while every slot was taken, since the last
+/// reset_pipeline(). Such scopes keep a working correlation id (logs and
+/// trace spans stay joinable) — they are merely invisible to the sampler's
+/// per-solve entries. Each occurrence also bumps the
+/// "telemetry.live_solve.slot_exhausted" metrics counter, so a service
+/// running more concurrent solves than the table holds sees the shortfall
+/// in its metrics instead of silently losing coverage.
+std::int64_t live_solve_slots_exhausted();
+
 // ---------------------------------------------------------------------------
 // Pipeline stage (the partition sweep publishes, the sampler reads)
 // ---------------------------------------------------------------------------

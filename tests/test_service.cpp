@@ -1,0 +1,587 @@
+// Tests for the solve service (src/service): protocol round trips and
+// validation, job queue admission control / priority order / cancellation,
+// and the daemon end to end over a real unix socket — concurrent clients,
+// structured rejections, disconnect-cancels-job, graceful shutdown with
+// preemption, and per-job artifact landing.
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/tg_format.hpp"
+#include "json_checker.hpp"
+#include "service/client.hpp"
+#include "service/job_queue.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/logging.hpp"
+#include "workloads/ar_filter.hpp"
+#include "workloads/dct.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sparcs::service {
+namespace {
+
+using sparcs::testing::is_valid_json;
+
+json::Value parse_ok(const std::string& line) {
+  json::ParseResult parsed = json::parse(line);
+  EXPECT_TRUE(parsed.ok) << parsed.error << " in: " << line;
+  return std::move(parsed.value);
+}
+
+std::string error_code(const json::Value& response) {
+  const json::Value* error = response.find("error");
+  return error != nullptr ? error->member_string("code") : "";
+}
+
+// --- protocol --------------------------------------------------------------
+
+TEST(ServiceProtocol, SubmitRoundTripsThroughSerializeAndParse) {
+  Request request;
+  request.op = "submit";
+  request.submit.workload = "ar";
+  request.submit.priority = 3;
+  request.submit.detach = true;
+  request.submit.rmax = 200.0;
+  request.submit.delta = 20.0;
+  request.submit.time_limit_sec = 2.5;
+  request.submit.deadline_sec = 9.0;
+  request.submit.certify = "incumbents";
+  request.submit.checkpoint = false;
+  request.submit.est_memory_mb = 64.0;
+
+  const std::string line = serialize_request(request);
+  EXPECT_TRUE(is_valid_json(line));
+  Request decoded;
+  std::string error;
+  ASSERT_TRUE(parse_request(line, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.op, "submit");
+  EXPECT_EQ(decoded.submit.workload, "ar");
+  EXPECT_EQ(decoded.submit.priority, 3);
+  EXPECT_TRUE(decoded.submit.detach);
+  ASSERT_TRUE(decoded.submit.rmax.has_value());
+  EXPECT_DOUBLE_EQ(*decoded.submit.rmax, 200.0);
+  EXPECT_FALSE(decoded.submit.mmax.has_value());
+  EXPECT_DOUBLE_EQ(decoded.submit.delta, 20.0);
+  EXPECT_DOUBLE_EQ(decoded.submit.time_limit_sec, 2.5);
+  EXPECT_DOUBLE_EQ(decoded.submit.deadline_sec, 9.0);
+  EXPECT_EQ(decoded.submit.certify, "incumbents");
+  EXPECT_FALSE(decoded.submit.checkpoint);
+  EXPECT_DOUBLE_EQ(decoded.submit.est_memory_mb, 64.0);
+}
+
+TEST(ServiceProtocol, RejectsMalformedRequests) {
+  Request request;
+  std::string error;
+  EXPECT_FALSE(parse_request("not json", &request, &error));
+  EXPECT_FALSE(parse_request("[1,2]", &request, &error));
+  EXPECT_FALSE(parse_request(R"({"job":"job-1"})", &request, &error));
+  EXPECT_FALSE(parse_request(R"({"op":"frobnicate"})", &request, &error));
+  EXPECT_FALSE(parse_request(R"({"op":"status"})", &request, &error));
+  // Exactly one of workload/graph_text.
+  EXPECT_FALSE(parse_request(R"({"op":"submit"})", &request, &error));
+  EXPECT_FALSE(parse_request(
+      R"({"op":"submit","workload":"ar","graph_text":"x"})", &request,
+      &error));
+  // Field validation.
+  EXPECT_FALSE(parse_request(
+      R"({"op":"submit","workload":"ar","options":{"time_limit_sec":0}})",
+      &request, &error));
+  EXPECT_FALSE(parse_request(
+      R"({"op":"submit","workload":"ar","options":{"certify":"maybe"}})",
+      &request, &error));
+  EXPECT_FALSE(parse_request(
+      R"({"op":"submit","workload":"ar","options":{"deadline_sec":-1}})",
+      &request, &error));
+}
+
+TEST(ServiceProtocol, ErrorResponseIsWellFormed) {
+  const std::string line = error_response("submit", "queue_full", "try later");
+  const json::Value response = parse_ok(line);
+  EXPECT_FALSE(response.member_bool("ok", true));
+  EXPECT_EQ(response.member_string("op"), "submit");
+  EXPECT_EQ(error_code(response), "queue_full");
+}
+
+// --- job queue -------------------------------------------------------------
+
+std::shared_ptr<Job> make_job(double est_memory_mb = 1.0, int priority = 0) {
+  auto job = std::make_shared<Job>();
+  job->spec.source = "test";
+  job->spec.graph = workloads::ar_filter_task_graph();
+  job->est_memory_mb = est_memory_mb;
+  job->priority = priority;
+  return job;
+}
+
+TEST(ServiceJobQueue, RejectsBeyondQueueDepth) {
+  JobQueue queue({.max_queue_depth = 2, .max_est_memory_mb = 1000.0});
+  EXPECT_TRUE(queue.submit(make_job()).ok);
+  EXPECT_TRUE(queue.submit(make_job()).ok);
+  const JobQueue::Admit third = queue.submit(make_job());
+  EXPECT_FALSE(third.ok);
+  EXPECT_EQ(third.code, "queue_full");
+  EXPECT_FALSE(third.message.empty());
+  EXPECT_EQ(queue.queue_depth(), 2);
+}
+
+TEST(ServiceJobQueue, RejectsBeyondMemoryLimitAndReleasesOnFinish) {
+  JobQueue queue({.max_queue_depth = 16, .max_est_memory_mb = 100.0});
+  EXPECT_TRUE(queue.submit(make_job(60.0)).ok);
+  const JobQueue::Admit over = queue.submit(make_job(60.0));
+  EXPECT_FALSE(over.ok);
+  EXPECT_EQ(over.code, "memory_limit");
+  EXPECT_DOUBLE_EQ(queue.est_memory_in_use_mb(), 60.0);
+
+  // Finishing the admitted job releases its budget for the next submit.
+  const std::shared_ptr<Job> job = queue.pop(1);
+  ASSERT_NE(job, nullptr);
+  queue.finish(job, JobResult{});
+  EXPECT_DOUBLE_EQ(queue.est_memory_in_use_mb(), 0.0);
+  EXPECT_TRUE(queue.submit(make_job(60.0)).ok);
+}
+
+TEST(ServiceJobQueue, PopsByPriorityThenSubmissionOrder) {
+  JobQueue queue({});
+  const std::string low = queue.submit(make_job(1.0, 0)).name;
+  const std::string high_a = queue.submit(make_job(1.0, 5)).name;
+  const std::string mid = queue.submit(make_job(1.0, 1)).name;
+  const std::string high_b = queue.submit(make_job(1.0, 5)).name;
+
+  EXPECT_EQ(queue.pop(1)->name, high_a);
+  EXPECT_EQ(queue.pop(2)->name, high_b);
+  EXPECT_EQ(queue.pop(3)->name, mid);
+  EXPECT_EQ(queue.pop(4)->name, low);
+}
+
+TEST(ServiceJobQueue, CancelQueuedIsTerminalAndTripsToken) {
+  JobQueue queue({});
+  auto job = make_job();
+  const std::string name = queue.submit(job).name;
+  EXPECT_EQ(queue.cancel(name), JobQueue::CancelOutcome::kCancelledQueued);
+  EXPECT_TRUE(job->cancel.cancelled());
+  EXPECT_EQ(queue.queue_depth(), 0);
+  JobInfo info;
+  ASSERT_TRUE(queue.lookup(name, &info));
+  EXPECT_EQ(info.state, JobState::kCancelled);
+  EXPECT_EQ(info.exit_code(), 5);
+  EXPECT_EQ(queue.cancel(name), JobQueue::CancelOutcome::kAlreadyTerminal);
+  EXPECT_EQ(queue.cancel("job-404"), JobQueue::CancelOutcome::kUnknownJob);
+}
+
+TEST(ServiceJobQueue, CancelRunningTripsTokenOnly) {
+  JobQueue queue({});
+  auto job = make_job();
+  const std::string name = queue.submit(job).name;
+  ASSERT_EQ(queue.pop(7), job);
+  EXPECT_EQ(queue.cancel(name), JobQueue::CancelOutcome::kRequestedRunning);
+  EXPECT_TRUE(job->cancel.cancelled());
+  JobInfo info;
+  ASSERT_TRUE(queue.lookup(name, &info));
+  EXPECT_EQ(info.state, JobState::kRunning);
+  EXPECT_EQ(info.correlation, 7u);
+
+  JobResult result;
+  result.state = JobState::kCancelled;
+  queue.finish(job, result);
+  ASSERT_TRUE(queue.lookup(name, &info));
+  EXPECT_EQ(info.state, JobState::kCancelled);
+}
+
+TEST(ServiceJobQueue, WaitTerminalBlocksUntilFinish) {
+  JobQueue queue({});
+  auto job = make_job();
+  const std::string name = queue.submit(job).name;
+  std::thread finisher([&] {
+    const std::shared_ptr<Job> popped = queue.pop(1);
+    JobResult result;
+    result.feasible = true;
+    queue.finish(popped, result);
+  });
+  JobInfo info;
+  ASSERT_TRUE(queue.wait_terminal(name, &info));
+  EXPECT_EQ(info.state, JobState::kDone);
+  EXPECT_TRUE(info.feasible);
+  EXPECT_EQ(info.exit_code(), 0);
+  finisher.join();
+  EXPECT_FALSE(queue.wait_terminal("job-404", nullptr));
+}
+
+TEST(ServiceJobQueue, MemoryEstimateGrowsWithGraphAndPartitions) {
+  const graph::TaskGraph ar = workloads::ar_filter_task_graph();
+  const graph::TaskGraph dct = workloads::dct_task_graph();
+  EXPECT_GT(estimate_job_memory_mb(ar, 8), 0.0);
+  EXPECT_LT(estimate_job_memory_mb(ar, 8), estimate_job_memory_mb(ar, 64));
+  EXPECT_LT(estimate_job_memory_mb(ar, 64), estimate_job_memory_mb(dct, 64));
+}
+
+// --- server end to end -----------------------------------------------------
+
+/// Runs one daemon on a socket inside a fresh temp dir for the lifetime of a
+/// test, with serve() on a background thread.
+class ServiceTest : public ::testing::Test {
+ protected:
+  void start(int workers, int queue_depth = 16,
+             double memory_mb = 4096.0, bool artifacts = true) {
+    // The daemon runs at info level (run_serve does the same): per-job JSONL
+    // logs are made of the workers' info-level records.
+    previous_log_level_ = log_level();
+    set_log_level(LogLevel::kInfo);
+    char tmpl[] = "/tmp/sparcs_service_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    ServerOptions options;
+    options.socket_path = dir_ + "/solve.sock";
+    options.num_workers = workers;
+    options.max_queue_depth = queue_depth;
+    options.max_est_memory_mb = memory_mb;
+    if (artifacts) options.artifact_dir = dir_ + "/artifacts";
+    server_ = std::make_unique<Server>(std::move(options));
+    serve_thread_ = std::thread([this] { serve_code_ = server_->serve(); });
+    while (!server_->listening()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr && serve_thread_.joinable()) {
+      server_->request_shutdown();
+      serve_thread_.join();
+    }
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+    set_log_level(previous_log_level_);
+  }
+
+  [[nodiscard]] std::string socket_path() const { return dir_ + "/solve.sock"; }
+
+  [[nodiscard]] Request submit_workload(const std::string& workload) const {
+    Request request;
+    request.op = "submit";
+    request.submit.workload = workload;
+    return request;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+  int serve_code_ = -1;
+  LogLevel previous_log_level_ = LogLevel::kWarning;
+};
+
+TEST_F(ServiceTest, ServesTwoConcurrentClientsEndToEnd) {
+  start(/*workers=*/2);
+  struct Outcome {
+    bool ok = false;
+    int exit_code = -1;
+    std::uint64_t correlation = 0;
+    std::string report_path;
+  };
+  Outcome outcomes[2];
+  const char* workloads[2] = {"ar", "dct"};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.emplace_back([&, i] {
+      Client client(socket_path());
+      const json::Value admitted =
+          parse_ok(client.call(submit_workload(workloads[i])));
+      if (!admitted.member_bool("ok")) return;
+      Request result;
+      result.op = "result";
+      result.job = admitted.member_string("job");
+      result.wait = true;
+      const json::Value done = parse_ok(client.call(result));
+      outcomes[i].ok = done.member_bool("ok");
+      outcomes[i].exit_code =
+          static_cast<int>(done.member_int("exit_code", -1));
+      outcomes[i].correlation =
+          static_cast<std::uint64_t>(done.member_int("corr"));
+      outcomes[i].report_path = done.member_string("report_path");
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (const Outcome& outcome : outcomes) {
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.exit_code, 0);
+    EXPECT_NE(outcome.correlation, 0u);
+    // The landed report is a complete, valid PartitionerReport document.
+    ASSERT_FALSE(outcome.report_path.empty());
+    std::ifstream report(outcome.report_path);
+    ASSERT_TRUE(report.good());
+    std::ostringstream text;
+    text << report.rdbuf();
+    EXPECT_TRUE(is_valid_json(text.str()));
+  }
+  // Concurrent jobs are distinguishable in every artifact stream.
+  EXPECT_NE(outcomes[0].correlation, outcomes[1].correlation);
+}
+
+TEST_F(ServiceTest, RejectsOverLimitSubmissionsWithStructuredReason) {
+  // workers=0: nothing drains the queue, so admission is deterministic.
+  start(/*workers=*/0, /*queue_depth=*/1, /*memory_mb=*/100.0);
+  Client client(socket_path());
+
+  Request oversized = submit_workload("ar");
+  oversized.submit.est_memory_mb = 500.0;
+  const json::Value memory_reject = parse_ok(client.call(oversized));
+  EXPECT_FALSE(memory_reject.member_bool("ok"));
+  EXPECT_EQ(error_code(memory_reject), "memory_limit");
+
+  EXPECT_TRUE(parse_ok(client.call(submit_workload("ar"))).member_bool("ok"));
+  const json::Value depth_reject = parse_ok(client.call(submit_workload("ar")));
+  EXPECT_FALSE(depth_reject.member_bool("ok"));
+  EXPECT_EQ(error_code(depth_reject), "queue_full");
+  EXPECT_EQ(depth_reject.member_int("queue_depth"), 1);
+}
+
+TEST_F(ServiceTest, StatusResultCancelAndListCoverQueuedJobs) {
+  start(/*workers=*/0);
+  Client client(socket_path());
+  const json::Value admitted = parse_ok(client.call(submit_workload("ar")));
+  const std::string job = admitted.member_string("job");
+
+  Request status;
+  status.op = "status";
+  status.job = job;
+  json::Value response = parse_ok(client.call(status));
+  EXPECT_EQ(response.member_string("state"), "queued");
+
+  // result without wait on a live job is an explicit error, not a hang.
+  Request result;
+  result.op = "result";
+  result.job = job;
+  response = parse_ok(client.call(result));
+  EXPECT_FALSE(response.member_bool("ok"));
+  EXPECT_EQ(error_code(response), "not_finished");
+
+  Request list;
+  list.op = "list";
+  response = parse_ok(client.call(list));
+  EXPECT_TRUE(response.member_bool("ok"));
+  EXPECT_EQ(response.member_int("queue_depth"), 1);
+  const json::Value* jobs = response.find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->array().size(), 1u);
+  EXPECT_EQ(jobs->array()[0].member_string("job"), job);
+
+  Request cancel;
+  cancel.op = "cancel";
+  cancel.job = job;
+  response = parse_ok(client.call(cancel));
+  EXPECT_TRUE(response.member_bool("ok"));
+  EXPECT_EQ(response.member_string("state"), "cancelled");
+
+  // A cancelled-while-queued job reports the preemption exit code.
+  result.wait = true;
+  response = parse_ok(client.call(result));
+  EXPECT_TRUE(response.member_bool("ok"));
+  EXPECT_EQ(response.member_int("exit_code"), 5);
+
+  status.job = "job-404";
+  response = parse_ok(client.call(status));
+  EXPECT_EQ(error_code(response), "unknown_job");
+}
+
+TEST_F(ServiceTest, ClientDisconnectCancelsOwnedJob) {
+  start(/*workers=*/0);
+  std::string job;
+  {
+    Client submitter(socket_path());
+    job = parse_ok(submitter.call(submit_workload("ar")))
+              .member_string("job");
+    ASSERT_FALSE(job.empty());
+  }  // connection closes with the job still queued
+
+  // The disconnect handler runs asynchronously; the job must become
+  // cancelled, not merely leave the queue.
+  Client watcher(socket_path());
+  Request status;
+  status.op = "status";
+  status.job = job;
+  std::string state;
+  for (int i = 0; i < 500; ++i) {
+    state = parse_ok(watcher.call(status)).member_string("state");
+    if (state == "cancelled") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(state, "cancelled");
+}
+
+TEST_F(ServiceTest, DetachedJobSurvivesDisconnect) {
+  start(/*workers=*/0);
+  std::string job;
+  {
+    Client submitter(socket_path());
+    Request request = submit_workload("ar");
+    request.submit.detach = true;
+    job = parse_ok(submitter.call(request)).member_string("job");
+  }
+  Client watcher(socket_path());
+  Request status;
+  status.op = "status";
+  status.job = job;
+  // Give the disconnect handler time to (wrongly) cancel before checking.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(parse_ok(watcher.call(status)).member_string("state"), "queued");
+}
+
+TEST_F(ServiceTest, MalformedLinesGetErrorResponsesNotDisconnects) {
+  start(/*workers=*/0);
+  Client client(socket_path());
+  json::Value response = parse_ok(client.call_raw("this is not json"));
+  EXPECT_FALSE(response.member_bool("ok"));
+  EXPECT_EQ(error_code(response), "parse_error");
+  response = parse_ok(client.call_raw(R"({"op":"submit"})"));
+  EXPECT_EQ(error_code(response), "parse_error");
+  // The connection is still usable afterwards.
+  EXPECT_TRUE(parse_ok(client.call(submit_workload("ar"))).member_bool("ok"));
+}
+
+TEST_F(ServiceTest, SubmitWithInlineGraphTextAndEmbeddedDevice) {
+  start(/*workers=*/1);
+  const graph::TaskGraph graph = workloads::ar_filter_task_graph();
+  Request request;
+  request.op = "submit";
+  request.submit.graph_text = io::to_task_graph_string(graph);
+  request.submit.rmax = 200.0;
+  request.submit.mmax = 64.0;
+  request.submit.ct = 50.0;
+
+  Client client(socket_path());
+  const json::Value admitted = parse_ok(client.call(request));
+  ASSERT_TRUE(admitted.member_bool("ok"));
+  Request result;
+  result.op = "result";
+  result.job = admitted.member_string("job");
+  result.wait = true;
+  const json::Value done = parse_ok(client.call(result));
+  EXPECT_TRUE(done.member_bool("ok"));
+  EXPECT_EQ(done.member_string("state"), "done");
+  EXPECT_TRUE(done.member_bool("feasible"));
+}
+
+TEST_F(ServiceTest, MalformedGraphTextIsRejectedAtSubmitTime) {
+  start(/*workers=*/0);
+  Request request;
+  request.op = "submit";
+  request.submit.graph_text = "task bad syntax here\n";
+  Client client(socket_path());
+  const json::Value response = parse_ok(client.call(request));
+  EXPECT_FALSE(response.member_bool("ok"));
+  EXPECT_EQ(error_code(response), "bad_request");
+}
+
+TEST_F(ServiceTest, ShutdownCancelsQueuedJobsAndExitsCleanly) {
+  // workers=0: every job is still queued when shutdown arrives.
+  start(/*workers=*/0);
+  Client client(socket_path());
+  std::vector<std::string> jobs;
+  for (int i = 0; i < 2; ++i) {
+    Request request = submit_workload("dct");
+    request.submit.detach = true;
+    const json::Value admitted = parse_ok(client.call(request));
+    ASSERT_TRUE(admitted.member_bool("ok"));
+    jobs.push_back(admitted.member_string("job"));
+  }
+  Request shutdown;
+  shutdown.op = "shutdown";
+  EXPECT_TRUE(parse_ok(client.call(shutdown)).member_bool("ok"));
+  serve_thread_.join();
+  EXPECT_EQ(serve_code_, 0);
+
+  for (const std::string& job : jobs) {
+    JobInfo info;
+    ASSERT_TRUE(server_->queue().lookup(job, &info));
+    EXPECT_EQ(info.state, JobState::kCancelled) << job;
+    EXPECT_EQ(info.exit_code(), 5) << job;
+  }
+  // The socket file is unlinked on the way out.
+  EXPECT_FALSE(std::filesystem::exists(socket_path()));
+
+  // Submissions after shutdown find no daemon at all.
+  EXPECT_THROW(Client{socket_path()}, Error);
+}
+
+TEST_F(ServiceTest, ShutdownPreemptsRunningJobThroughTheCancelPath) {
+  start(/*workers=*/1);
+  // A long chain on a small device needs many partitions and a long sweep:
+  // comfortably mid-solve when the shutdown lands, and cancellation unwinds
+  // it through the same anytime path a deadline uses.
+  Request request;
+  request.op = "submit";
+  request.submit.graph_text =
+      io::to_task_graph_string(workloads::chain_task_graph(40));
+  request.submit.rmax = 200.0;
+  request.submit.mmax = 4096.0;
+  request.submit.ct = 100.0;
+  request.submit.detach = true;
+
+  Client client(socket_path());
+  const json::Value admitted = parse_ok(client.call(request));
+  ASSERT_TRUE(admitted.member_bool("ok"));
+  const std::string job = admitted.member_string("job");
+
+  Request status;
+  status.op = "status";
+  status.job = job;
+  std::string state;
+  for (int i = 0; i < 1000; ++i) {
+    state = parse_ok(client.call(status)).member_string("state");
+    if (state == "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(state, "running");
+
+  Request shutdown;
+  shutdown.op = "shutdown";
+  EXPECT_TRUE(parse_ok(client.call(shutdown)).member_bool("ok"));
+  serve_thread_.join();
+  EXPECT_EQ(serve_code_, 0);
+
+  JobInfo info;
+  ASSERT_TRUE(server_->queue().lookup(job, &info));
+  EXPECT_EQ(info.state, JobState::kCancelled);
+  EXPECT_TRUE(info.cancel_requested);
+}
+
+TEST_F(ServiceTest, PerJobArtifactsLandUnderTheArtifactDir) {
+  start(/*workers=*/1);
+  Client client(socket_path());
+  const json::Value admitted = parse_ok(client.call(submit_workload("ar")));
+  Request result;
+  result.op = "result";
+  result.job = admitted.member_string("job");
+  result.wait = true;
+  const json::Value done = parse_ok(client.call(result));
+  ASSERT_TRUE(done.member_bool("ok"));
+
+  const std::string base = dir_ + "/artifacts/" + result.job;
+  EXPECT_TRUE(std::filesystem::exists(base + ".report.json"));
+  EXPECT_TRUE(std::filesystem::exists(base + ".logs.jsonl"));
+  // The per-job log stream carries only this job's correlation id.
+  std::ifstream logs(base + ".logs.jsonl");
+  std::string line;
+  int records = 0;
+  const std::int64_t corr = done.member_int("corr");
+  while (std::getline(logs, line)) {
+    if (line.empty()) continue;
+    ++records;
+    const json::Value record = parse_ok(line);
+    EXPECT_EQ(record.member_int("corr"), corr) << line;
+  }
+  EXPECT_GT(records, 0);
+}
+
+}  // namespace
+}  // namespace sparcs::service

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -400,6 +401,68 @@ TEST_F(TelemetryTest, SolveUnderTelemetryPublishesLiveState) {
   EXPECT_TRUE(is_valid_json(json.str()));
   EXPECT_TRUE(is_valid_json_lines(sink.str()));
   EXPECT_GE(telemetry::solves_completed(), 1);
+}
+
+// --- live solve table exhaustion -------------------------------------------
+
+TEST_F(TelemetryTest, SlotExhaustionDegradesGracefullyAndIsCounted) {
+  telemetry::set_active(true);
+  metrics::set_enabled(true);
+
+  constexpr int kOverflow = 8;
+  std::vector<std::unique_ptr<telemetry::SolveScope>> scopes;
+  for (int i = 0; i < telemetry::kLiveSolveSlots + kOverflow; ++i) {
+    scopes.push_back(std::make_unique<telemetry::SolveScope>("exhaustion"));
+  }
+  EXPECT_EQ(telemetry::live_solve_slots_in_use(), telemetry::kLiveSolveSlots);
+  EXPECT_EQ(telemetry::live_solve_slots_exhausted(), kOverflow);
+  EXPECT_EQ(metrics::registry()
+                .counter("telemetry.live_solve.slot_exhausted")
+                .value(),
+            kOverflow);
+  // Overflow scopes degrade, not break: they carry a working correlation id
+  // (logs/spans stay joinable) and merely publish to no slot.
+  EXPECT_EQ(scopes.back()->slot(), nullptr);
+  EXPECT_NE(scopes.back()->id(), 0u);
+  EXPECT_NE(scopes.front()->slot(), nullptr);
+
+  // LIFO teardown keeps each scope's thread-local correlation restore exact.
+  while (!scopes.empty()) scopes.pop_back();
+  EXPECT_EQ(telemetry::live_solve_slots_in_use(), 0);
+
+  telemetry::reset_pipeline();
+  EXPECT_EQ(telemetry::live_solve_slots_exhausted(), 0);
+}
+
+TEST_F(TelemetryTest, SlotExhaustionUnderConcurrentScopes) {
+  telemetry::set_active(true);
+
+  constexpr int kThreads = telemetry::kLiveSolveSlots + 16;
+  std::atomic<int> ready{0};
+  std::atomic<bool> release{false};
+  std::atomic<int> without_slot{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      const telemetry::SolveScope scope("concurrent-exhaustion");
+      ready.fetch_add(1);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      if (scope.slot() == nullptr) without_slot.fetch_add(1);
+    });
+  }
+  while (ready.load() < kThreads) std::this_thread::yield();
+  // Every thread holds its scope at this point: the table must be full and
+  // the excess accounted, with no thread crashed or blocked.
+  EXPECT_EQ(telemetry::live_solve_slots_in_use(), telemetry::kLiveSolveSlots);
+  release.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(without_slot.load(), kThreads - telemetry::kLiveSolveSlots);
+  EXPECT_EQ(telemetry::live_solve_slots_exhausted(),
+            kThreads - telemetry::kLiveSolveSlots);
+  EXPECT_EQ(telemetry::live_solve_slots_in_use(), 0);
 }
 
 // --- process memory --------------------------------------------------------
